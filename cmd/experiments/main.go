@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's full evaluation: every
+// figure and table in Section 7, in paper order. Use -profile quick
+// for a CI-sized pass or -profile full for longer, more stable runs;
+// individual experiments can be selected with -only.
+//
+// The output is the text report EXPERIMENTS.md is built from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"optiql/internal/experiments"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "quick", "quick|full|paper")
+		only    = flag.String("only", "all", "single experiment to run (fig1..fig13, table1, all)")
+		threads = flag.String("threads", "", "override thread sweep (comma-separated)")
+		records = flag.Int("records", 0, "override preloaded record count")
+	)
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *profile {
+	case "quick":
+		opts = experiments.Options{
+			Threads:  []int{1, 2, 4, 8},
+			Duration: 300 * time.Millisecond,
+			Runs:     2,
+			Records:  100_000,
+		}
+	case "full":
+		opts = experiments.Options{
+			Threads:  []int{1, 2, 4, 8, 16},
+			Duration: 2 * time.Second,
+			Runs:     5,
+			Records:  1_000_000,
+		}
+	case "paper":
+		opts = experiments.Options{
+			Threads:  []int{1, 20, 40, 60, 80},
+			Duration: 10 * time.Second,
+			Runs:     20,
+			Records:  100_000_000,
+		}
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	if *threads != "" {
+		ths, err := experiments.ParseThreads(*threads)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Threads = ths
+		opts.MaxThreads = 0
+	}
+	if *records != 0 {
+		opts.Records = *records
+	}
+
+	fmt.Printf("OptiQL evaluation reproduction — profile=%s, GOMAXPROCS=%d, NumCPU=%d\n",
+		*profile, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Printf("threads=%v duration=%v runs=%d records=%d\n",
+		opts.Threads, opts.Duration, opts.Runs, opts.Records)
+
+	fn, err := experiments.ByName(*only)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if err := fn(opts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

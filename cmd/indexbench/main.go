@@ -1,0 +1,104 @@
+// Command indexbench runs the index benchmarks of the OptiQL paper
+// (Figures 1, 9, 10 and 13), or a single custom configuration against
+// the B+-tree or ART.
+//
+// Examples:
+//
+//	indexbench -experiment fig9 -records 100000000 -threads 1,20,40,60,80 -duration 10s -runs 20
+//	indexbench -index art -scheme OptiQL -mix balanced -dist selfsimilar -sparse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optiql/internal/bench"
+	"optiql/internal/experiments"
+	"optiql/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "fig1|fig9|fig10|fig13|all (empty = custom single run)")
+		threads    = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
+		runs       = flag.Int("runs", 3, "repetitions per configuration")
+		records    = flag.Int("records", 200_000, "records preloaded (paper: 100000000)")
+
+		index    = flag.String("index", "btree", "btree|art")
+		scheme   = flag.String("scheme", "OptiQL", "lock scheme for custom runs")
+		mixName  = flag.String("mix", "balanced", "read-only|read-heavy|balanced|write-heavy|update-only")
+		dist     = flag.String("dist", "selfsimilar", "uniform|selfsimilar|zipf")
+		skew     = flag.Float64("skew", 0.2, "self-similar skew factor / zipf theta")
+		sparseK  = flag.Bool("sparse", false, "use sparse integer keys")
+		nodeSize = flag.Int("nodesize", 256, "B+-tree node size in bytes")
+		noexpand = flag.Bool("noexpand", false, "disable ART contention expansion (ablation)")
+	)
+	flag.Parse()
+
+	ths, err := experiments.ParseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{
+		Threads:  ths,
+		Duration: *duration,
+		Runs:     *runs,
+		Records:  *records,
+	}
+
+	if *experiment != "" {
+		fn, err := experiments.ByName(*experiment)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	ks := workload.Dense
+	if *sparseK {
+		ks = workload.Sparse
+	}
+	cfg := bench.IndexConfig{
+		Index:               *index,
+		Scheme:              *scheme,
+		Threads:             ths[len(ths)-1],
+		Records:             *records,
+		NodeSize:            *nodeSize,
+		Distribution:        *dist,
+		Skew:                *skew,
+		KeySpace:            ks,
+		Mix:                 mix,
+		Duration:            *duration,
+		ARTDisableExpansion: *noexpand,
+	}
+	res, err := bench.RunIndex(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index=%s scheme=%s threads=%d records=%d dist=%s keys=%s mix=%s\n",
+		*index, *scheme, cfg.Threads, *records, *dist, ks, *mixName)
+	fmt.Printf("throughput: %.3f Mops (%d ops in %v)\n", res.Mops(), res.Ops, res.Elapsed.Round(time.Millisecond))
+	for op, n := range res.PerOp {
+		if n > 0 {
+			fmt.Printf("  %s: %d\n", workload.OpKind(op), n)
+		}
+	}
+	if res.Expansions > 0 {
+		fmt.Printf("  contention expansions: %d\n", res.Expansions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indexbench:", err)
+	os.Exit(1)
+}

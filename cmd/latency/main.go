@@ -1,0 +1,35 @@
+// Command latency runs the Figure 12 tail-latency study: operation
+// latency percentiles (min to 99.999%) for the B+-tree and ART under
+// the skewed distribution, comparing OptLock, OptiQL-NOR and OptiQL at
+// two thread counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optiql/internal/experiments"
+)
+
+func main() {
+	var (
+		maxThreads = flag.Int("maxthreads", 8, "higher thread count; the lower one is half (paper: 40 and 20)")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
+		records    = flag.Int("records", 200_000, "records preloaded (paper: 100000000)")
+	)
+	flag.Parse()
+
+	err := experiments.Fig12(experiments.Options{
+		Threads:    []int{*maxThreads},
+		MaxThreads: *maxThreads,
+		Duration:   *duration,
+		Runs:       1,
+		Records:    *records,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command microbench runs the lock microbenchmarks of the OptiQL paper
+// (Figures 6-8 and Table 1), or a single custom configuration.
+//
+// Examples:
+//
+//	microbench -experiment fig6 -threads 1,20,40,60,80 -duration 10s -runs 20
+//	microbench -experiment table1
+//	microbench -scheme OptiQL -threads 8 -locks 5 -readpct 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optiql/internal/bench"
+	"optiql/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "fig6|fig7|fig8|table1|all (empty = custom single run)")
+		threads    = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
+		maxThreads = flag.Int("maxthreads", 0, "thread count for fixed-thread experiments (default: last of -threads)")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
+		runs       = flag.Int("runs", 3, "repetitions per configuration")
+
+		scheme  = flag.String("scheme", "OptiQL", "lock scheme for custom runs")
+		nlocks  = flag.Int("locks", bench.HighContention, "number of locks (0 = per-thread)")
+		readPct = flag.Int("readpct", 0, "read percentage for custom runs")
+		csLen   = flag.Int("cs", 50, "critical-section length")
+		split   = flag.Bool("split", false, "dedicate threads to pure reads/writes")
+	)
+	flag.Parse()
+
+	ths, err := experiments.ParseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{
+		Threads:    ths,
+		MaxThreads: *maxThreads,
+		Duration:   *duration,
+		Runs:       *runs,
+	}
+
+	if *experiment != "" {
+		fn, err := experiments.ByName(*experiment)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Custom single run.
+	res, err := bench.RunMicro(bench.MicroConfig{
+		Scheme:   *scheme,
+		Threads:  ths[len(ths)-1],
+		Locks:    *nlocks,
+		ReadPct:  *readPct,
+		CSLen:    *csLen,
+		Split:    *split,
+		Duration: *duration,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scheme=%s threads=%d locks=%d read%%=%d cs=%d\n",
+		*scheme, ths[len(ths)-1], *nlocks, *readPct, *csLen)
+	fmt.Printf("throughput: %.3f Mops (%d ops in %v)\n", res.Mops(), res.Ops, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("writes: %d, reads: %d, read attempts: %d, read success rate: %.2f%%\n",
+		res.Writes, res.Reads, res.ReadAttempts, res.ReadSuccessRate()*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "microbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command nodesize runs the Figure 11 node-size study: B+-tree
+// throughput under the skewed distribution across node sizes from 256
+// bytes to 16 KB, comparing OptLock, OptiQL-NOR, OptiQL and OptiQL-AOR
+// (the adjustable opportunistic read variant, which pays off with
+// larger nodes / longer critical sections).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optiql/internal/experiments"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 8, "worker threads (paper: 40)")
+		duration = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
+		runs     = flag.Int("runs", 3, "repetitions per configuration")
+		records  = flag.Int("records", 200_000, "records preloaded (paper: 100000000)")
+	)
+	flag.Parse()
+
+	err := experiments.Fig11(experiments.Options{
+		Threads:    []int{*threads},
+		MaxThreads: *threads,
+		Duration:   *duration,
+		Runs:       *runs,
+		Records:    *records,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodesize:", err)
+		os.Exit(1)
+	}
+}

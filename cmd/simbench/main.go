@@ -1,0 +1,69 @@
+// Command simbench regenerates the contention-sensitive lock
+// experiments (Figures 6-8, Table 1 and the fairness extension) on the
+// deterministic multicore cache-coherence simulator in internal/sim.
+//
+// Use it when the host machine has fewer cores than the paper's
+// testbed: the native microbenchmarks then cannot exhibit parallel
+// cacheline contention, while the simulated runs reproduce the paper's
+// shapes exactly and deterministically (see DESIGN.md).
+//
+// Examples:
+//
+//	simbench                       # all simulated experiments
+//	simbench -only simtable1
+//	simbench -scheme OptiQL -threads 80 -locks 1   # single custom run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optiql/internal/experiments"
+	"optiql/internal/sim"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "allsim", "simfig6|simfig7|simtable1|simfig8|simfairness|allsim")
+		scheme  = flag.String("scheme", "", "run a single custom simulation with this scheme instead")
+		threads = flag.Int("threads", 40, "simulated threads (custom run)")
+		nlocks  = flag.Int("locks", 1, "number of locks (custom run; 0 = per-thread)")
+		readPct = flag.Int("readpct", 0, "read percentage (custom run)")
+		csLen   = flag.Int("cs", 50, "critical-section length (custom run)")
+		cycles  = flag.Uint64("cycles", 2_000_000, "simulated cycles (custom run)")
+		split   = flag.Bool("split", false, "dedicated reader/writer threads (custom run)")
+		seed    = flag.Uint64("seed", 1, "simulation seed (custom run)")
+	)
+	flag.Parse()
+
+	if *scheme != "" {
+		r, err := sim.Run(sim.Config{
+			Scheme: *scheme, Threads: *threads, Locks: *nlocks,
+			ReadPct: *readPct, CSLen: *csLen, Cycles: *cycles,
+			Split: *split, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scheme=%s threads=%d locks=%d read%%=%d cs=%d cycles=%d\n",
+			*scheme, *threads, *nlocks, *readPct, *csLen, *cycles)
+		fmt.Printf("throughput: %.2f ops/kcycle (%d ops)\n", r.Throughput(), r.Ops)
+		fmt.Printf("writes: %d, reads: %d, attempts: %d, read success: %.2f%%, fairness: %.2fx\n",
+			r.Writes, r.Reads, r.ReadAttempts, r.ReadSuccessRate()*100, r.FairnessRatio())
+		return
+	}
+
+	fn, err := experiments.ByName(*only)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(experiments.Options{}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command stress is a concurrency correctness checker for the index
+// substrates: it runs a mixed workload against the chosen index and
+// lock scheme while maintaining a sharded reference model, then audits
+// every key (and, for the B+-tree, scan ordering) against it.
+//
+// The workload partitions the keyspace among workers so the reference
+// model needs no cross-worker coordination: worker w owns keys with
+// idx % workers == w and is the only one to insert/update/delete them,
+// while every worker looks up and scans the whole space. Any torn
+// read, lost update, phantom or ordering violation fails the run.
+//
+// Examples:
+//
+//	stress                                  # B+-tree, OptiQL, 8 workers, 5s
+//	stress -index art -scheme OptLock -duration 30s
+//	stress -all -duration 2s                # every scheme on both indexes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/art"
+	"optiql/internal/btree"
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/workload"
+)
+
+type index interface {
+	Lookup(c *locks.Ctx, k uint64) (uint64, bool)
+	Insert(c *locks.Ctx, k, v uint64) bool
+	Update(c *locks.Ctx, k, v uint64) bool
+	Delete(c *locks.Ctx, k uint64) bool
+}
+
+func build(kind, scheme string, nodeSize int) (index, func(c *locks.Ctx, start uint64, max int) []btree.KV, error) {
+	s, err := locks.ByName(scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind {
+	case "btree":
+		t, err := btree.New(btree.Config{Scheme: s, NodeSize: nodeSize})
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, func(c *locks.Ctx, start uint64, max int) []btree.KV {
+			return t.Scan(c, start, max, nil)
+		}, nil
+	case "art":
+		t, err := art.New(art.Config{Scheme: s})
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, func(c *locks.Ctx, start uint64, max int) []btree.KV {
+			out := t.Scan(c, start, max, nil)
+			kvs := make([]btree.KV, len(out))
+			for i, kv := range out {
+				kvs[i] = btree.KV{Key: kv.Key, Value: kv.Value}
+			}
+			return kvs
+		}, nil
+	}
+	return nil, nil, fmt.Errorf("unknown index %q", kind)
+}
+
+type run struct {
+	index, scheme string
+	workers       int
+	keyspace      int
+	duration      time.Duration
+	nodeSize      int
+	sparse        bool
+}
+
+func (r run) execute() error {
+	idx, scan, err := build(r.index, r.scheme, r.nodeSize)
+	if err != nil {
+		return err
+	}
+	pool := core.NewPool(core.MaxQNodes)
+	ks := workload.Dense
+	if r.sparse {
+		ks = workload.Sparse
+	}
+
+	// Reference model: one slice shard per worker; entry -1 = absent.
+	refs := make([][]int64, r.workers)
+	for w := range refs {
+		refs[w] = make([]int64, r.keyspace)
+		for i := range refs[w] {
+			refs[w][i] = -1
+		}
+	}
+
+	var (
+		stop     atomic.Bool
+		failures atomic.Uint64
+		ops      atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	report := func(format string, args ...any) {
+		failures.Add(1)
+		fmt.Fprintf(os.Stderr, "FAIL["+r.index+"/"+r.scheme+"]: "+format+"\n", args...)
+	}
+
+	for w := 0; w < r.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			rng := workload.NewRNG(uint64(w)*7919 + 13)
+			ref := refs[w]
+			var n uint64
+			for !stop.Load() {
+				n++
+				i := int(rng.Uint64n(uint64(r.keyspace)))
+				ownIdx := uint64(i*r.workers + w)
+				key := ks.Key(ownIdx)
+				switch rng.Uint64n(10) {
+				case 0, 1: // insert/upsert own key
+					val := rng.Uint64() >> 1 // keep it non-negative as int64
+					idx.Insert(c, key, val)
+					ref[i] = int64(val)
+				case 2: // update own key
+					val := rng.Uint64() >> 1
+					found := idx.Update(c, key, val)
+					if found != (ref[i] >= 0) {
+						report("update(%#x) found=%v, model=%v", key, found, ref[i] >= 0)
+					}
+					if found {
+						ref[i] = int64(val)
+					}
+				case 3: // delete own key
+					removed := idx.Delete(c, key)
+					if removed != (ref[i] >= 0) {
+						report("delete(%#x) removed=%v, model=%v", key, removed, ref[i] >= 0)
+					}
+					ref[i] = -1
+				case 4, 5, 6: // lookup own key — must match the model exactly
+					v, ok := idx.Lookup(c, key)
+					if ok != (ref[i] >= 0) {
+						report("lookup(%#x) present=%v, model=%v", key, ok, ref[i] >= 0)
+					} else if ok && int64(v) != ref[i] {
+						report("lookup(%#x) = %d, model %d", key, v, ref[i])
+					}
+				case 7, 8: // lookup a foreign key — no value assertion, but must not crash/hang
+					fk := ks.Key(rng.Uint64n(uint64(r.keyspace * r.workers)))
+					idx.Lookup(c, fk)
+				case 9: // scan: keys ascending, values sane
+					out := scan(c, ks.Key(rng.Uint64n(uint64(r.keyspace*r.workers))), 32)
+					for j := 1; j < len(out); j++ {
+						if out[j].Key <= out[j-1].Key {
+							report("scan ordering violation at %d", j)
+							break
+						}
+					}
+				}
+			}
+			ops.Add(n)
+		}()
+	}
+	time.Sleep(r.duration)
+	stop.Store(true)
+	wg.Wait()
+
+	// Final audit: every owned key must match its model entry.
+	c := locks.NewCtx(pool, 8)
+	defer c.Close()
+	for w := 0; w < r.workers; w++ {
+		for i, want := range refs[w] {
+			key := ks.Key(uint64(i*r.workers + w))
+			v, ok := idx.Lookup(c, key)
+			if ok != (want >= 0) {
+				report("audit: key %#x present=%v, model=%v", key, ok, want >= 0)
+			} else if ok && int64(v) != want {
+				report("audit: key %#x = %d, model %d", key, v, want)
+			}
+		}
+	}
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%s/%s: %d failures (%d ops)", r.index, r.scheme, f, ops.Load())
+	}
+	fmt.Printf("PASS %s/%-11s %12d ops, audit clean\n", r.index, r.scheme, ops.Load())
+	return nil
+}
+
+func main() {
+	var (
+		indexKind = flag.String("index", "btree", "btree|art")
+		scheme    = flag.String("scheme", "OptiQL", "lock scheme")
+		workers   = flag.Int("workers", 8, "worker goroutines")
+		keyspace  = flag.Int("keys", 4096, "keys per worker")
+		duration  = flag.Duration("duration", 5*time.Second, "stress duration per run")
+		nodeSize  = flag.Int("nodesize", 256, "B+-tree node size")
+		sparse    = flag.Bool("sparse", false, "sparse keys")
+		all       = flag.Bool("all", false, "stress every reader-capable scheme on both indexes")
+	)
+	flag.Parse()
+
+	runs := []run{{
+		index: *indexKind, scheme: *scheme, workers: *workers,
+		keyspace: *keyspace, duration: *duration, nodeSize: *nodeSize, sparse: *sparse,
+	}}
+	if *all {
+		runs = runs[:0]
+		for _, idx := range []string{"btree", "art"} {
+			for _, s := range locks.ReaderCapableNames() {
+				runs = append(runs, run{
+					index: idx, scheme: s, workers: *workers,
+					keyspace: *keyspace, duration: *duration,
+					nodeSize: *nodeSize, sparse: *sparse,
+				})
+			}
+		}
+	}
+	exit := 0
+	for _, r := range runs {
+		if err := r.execute(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,11 @@
+// Package optiql is a from-scratch Go reproduction of "OptiQL: Robust
+// Optimistic Locking for Memory-Optimized Indexes" (Shi, Yan, Wang;
+// SIGMOD 2024): the OptiQL optimistic queuing lock, the comparison
+// locks, OLC-based B+-tree and ART index substrates, and the full
+// benchmark harness that regenerates the paper's evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable examples are under examples/ and the
+// evaluation drivers under cmd/. The root package exists to host the
+// module documentation and the per-figure benchmarks in bench_test.go.
+package optiql

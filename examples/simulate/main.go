@@ -1,0 +1,52 @@
+// simulate: watch the robustness story on the simulated multicore.
+//
+// This machine may have too few cores to exhibit parallel cacheline
+// contention, so this example uses internal/sim — the deterministic
+// discrete-event model of the lock protocols over MESI-style cache
+// costs — to show what Figure 1/6 of the paper measures: centralized
+// optimistic locks collapse as cores contend on one cacheline, while
+// OptiQL's queue plateaus; and opportunistic read keeps readers alive
+// where a plain queue lock starves them.
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+
+	"optiql/internal/sim"
+)
+
+func main() {
+	fmt.Println("-- exclusive-lock throughput on one contended lock (ops/kcycle) --")
+	fmt.Printf("%8s  %8s  %8s  %8s\n", "threads", "OptLock", "OptiQL", "MCS")
+	for _, th := range []int{1, 10, 20, 40, 80} {
+		row := []float64{}
+		for _, scheme := range []string{"OptLock", "OptiQL", "MCS"} {
+			r, err := sim.Run(sim.Config{Scheme: scheme, Threads: th, Locks: 1})
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, r.Throughput())
+		}
+		fmt.Printf("%8d  %8.2f  %8.2f  %8.2f\n", th, row[0], row[1], row[2])
+	}
+	fmt.Println("OptLock decays as every CAS re-fetches the hot line from more sharers;")
+	fmt.Println("the queue locks hand over point-to-point and plateau.")
+
+	fmt.Println()
+	fmt.Println("-- reader success against a standing writer queue (Table 1) --")
+	for _, scheme := range []string{"OptiQL-NOR", "OptiQL"} {
+		r, err := sim.Run(sim.Config{
+			Scheme: scheme, Threads: 80, Locks: 5, ReadPct: 50, Split: true,
+			Cycles: 4_000_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-11s reader success %6.2f%%  (%7d reads completed)\n",
+			scheme, r.ReadSuccessRate()*100, r.Reads)
+	}
+	fmt.Println("Without the opportunistic window, the word never looks free between")
+	fmt.Println("writers and readers starve; OptiQL re-admits them at every handover.")
+}

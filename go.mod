@@ -1,0 +1,3 @@
+module optiql
+
+go 1.24

@@ -1,0 +1,380 @@
+// Package art implements the Adaptive Radix Tree [27] with the
+// synchronization adaptations of Section 6.2 of the OptiQL paper:
+// optimistic lock coupling [28] on every node, an upgrade interface
+// that retains OptiQL's writer queue, direct (blocking) exclusive
+// acquisition at last-level nodes, and contention expansion —
+// materializing lazily-expanded paths whose leaves attract heavy
+// updates so that updaters can queue on a last-level node instead of
+// retrying upgrades.
+//
+// Keys are uint64, indexed big-endian one byte per level (at most 8
+// levels). Values are uint64 payloads ("TIDs"). The tree supports the
+// standard ART node kinds (Node4/16/48/256), path compression (a node
+// stores the byte prefix it absorbs) and lazy expansion (a sub-path
+// with a single key collapses into a leaf holding the full key).
+//
+// Structural invariants relied on for concurrency:
+//   - A node's kind and prefix are immutable after publication.
+//     Operations that would change them (growing a full node, splitting
+//     a prefix) instead create replacement nodes, re-point the parent,
+//     and mark the old node obsolete under its exclusive lock; its
+//     version bump on release invalidates in-flight optimistic readers.
+//   - Leaf keys are immutable; only leaf values are written, and only
+//     while the parent node (owner of the child slot) is held
+//     exclusively. Readers validate the parent version after reading.
+package art
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"optiql/internal/locks"
+)
+
+type kind uint8
+
+const (
+	kind4 kind = iota
+	kind16
+	kind48
+	kind256
+)
+
+// maxPrefix is the longest byte prefix a node can absorb; with 8-byte
+// keys a compressed path never exceeds 7 bytes.
+const maxPrefix = 8
+
+// leaf holds a full key (immutable) and its value (written only under
+// the parent node's exclusive lock).
+type leaf struct {
+	key   uint64
+	value uint64
+}
+
+// ref is a tagged child slot: exactly one of n and l is non-nil, or
+// both are nil for an empty slot.
+type ref struct {
+	n *node
+	l *leaf
+}
+
+func (r ref) empty() bool { return r.n == nil && r.l == nil }
+
+type node struct {
+	lock locks.Lock
+	kind kind
+	// obsolete is set (under the exclusive lock) when the node has been
+	// replaced by a grown or prefix-split copy; threads that acquired
+	// the lock blockingly must check it before acting.
+	obsolete bool
+	// numChildren is read racily by optimistic traversals; all derived
+	// indexing is clamped and validated by version checks.
+	numChildren int
+	prefixLen   int
+	prefix      [maxPrefix]byte
+	// contention counts sampled upgrade failures (Section 6.2); once it
+	// passes the threshold the hot path below this node is materialized.
+	contention atomic.Uint32
+	// keys: kind4/16 → branch bytes parallel to children;
+	// kind48 → 256-entry indirection (child index + 1, 0 = empty);
+	// kind256 → unused.
+	keys     []byte
+	children []ref
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Scheme selects the locking scheme; required, must support readers.
+	Scheme *locks.Scheme
+	// ExpandThreshold is the contention-counter value that triggers
+	// contention expansion (default 1024, per the paper).
+	ExpandThreshold uint32
+	// SampleInverse is the inverse sampling probability for bumping the
+	// contention counter (default 10, i.e. p = 0.1).
+	SampleInverse uint32
+	// DisableExpansion turns contention expansion off (ablation).
+	DisableExpansion bool
+}
+
+// Tree is the concurrent adaptive radix tree.
+type Tree struct {
+	root       *node // a Node256 that is never replaced
+	scheme     *locks.Scheme
+	size       atomic.Int64
+	expansions atomic.Int64
+	threshold  uint32
+	sampleInv  uint32
+	expand     bool
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("art: Config.Scheme is required")
+	}
+	if !cfg.Scheme.SharedMode {
+		return nil, fmt.Errorf("art: scheme %s does not support shared mode", cfg.Scheme.Name)
+	}
+	if cfg.ExpandThreshold == 0 {
+		cfg.ExpandThreshold = 1024
+	}
+	if cfg.SampleInverse == 0 {
+		cfg.SampleInverse = 10
+	}
+	t := &Tree{
+		scheme:    cfg.Scheme,
+		threshold: cfg.ExpandThreshold,
+		sampleInv: cfg.SampleInverse,
+		expand:    !cfg.DisableExpansion,
+	}
+	t.root = t.newNode(kind256)
+	return t, nil
+}
+
+// MustNew is New for static configuration; it panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// Expansions returns how many contention expansions have been applied
+// (diagnostics for the Figure 13 experiment).
+func (t *Tree) Expansions() int { return int(t.expansions.Load()) }
+
+func (t *Tree) newNode(k kind) *node {
+	n := &node{lock: t.scheme.NewLock(), kind: k}
+	switch k {
+	case kind4:
+		n.keys = make([]byte, 4)
+		n.children = make([]ref, 4)
+	case kind16:
+		n.keys = make([]byte, 16)
+		n.children = make([]ref, 16)
+	case kind48:
+		n.keys = make([]byte, 256)
+		n.children = make([]ref, 48)
+	case kind256:
+		n.children = make([]ref, 256)
+	}
+	return n
+}
+
+// keyByte returns byte i (0 = most significant) of the big-endian key.
+func keyByte(k uint64, i int) byte { return byte(k >> (56 - 8*i)) }
+
+// checkPrefix compares the node's (immutable) prefix against the key
+// bytes starting at level, returning the number of matching bytes.
+func checkPrefix(n *node, k uint64, level int) int {
+	for i := 0; i < n.prefixLen; i++ {
+		if level+i >= 8 || keyByte(k, level+i) != n.prefix[i] {
+			return i
+		}
+	}
+	return n.prefixLen
+}
+
+// clampedChildren returns numChildren clamped to capacity, defending
+// racy traversals.
+func (n *node) clampedChildren() int {
+	c := n.numChildren
+	if c < 0 {
+		return 0
+	}
+	max := len(n.children)
+	if n.kind == kind48 {
+		max = 48
+	}
+	if c > max {
+		return max
+	}
+	return c
+}
+
+// findChild returns the child slot for branch byte b. Safe under racy
+// reads; the result must be validated by the caller.
+func (n *node) findChild(b byte) ref {
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.clampedChildren()
+		for i := 0; i < cnt; i++ {
+			if n.keys[i] == b {
+				return n.children[i]
+			}
+		}
+	case kind48:
+		if idx := n.keys[b]; idx != 0 && int(idx) <= len(n.children) {
+			return n.children[idx-1]
+		}
+	case kind256:
+		return n.children[b]
+	}
+	return ref{}
+}
+
+// full reports whether the node has no free slot (never true for
+// Node256).
+func (n *node) full() bool {
+	switch n.kind {
+	case kind4:
+		return n.numChildren >= 4
+	case kind16:
+		return n.numChildren >= 16
+	case kind48:
+		return n.numChildren >= 48
+	default:
+		return false
+	}
+}
+
+// addChild inserts (b -> r) into a node with a free slot. Caller holds
+// the node exclusively. Writes are ordered so racy readers never see a
+// slot count covering an unwritten slot.
+func (n *node) addChild(b byte, r ref) {
+	switch n.kind {
+	case kind4, kind16:
+		i := n.numChildren
+		n.children[i] = r
+		n.keys[i] = b
+		n.numChildren = i + 1
+	case kind48:
+		// Find a free child slot (holes are left by removals).
+		for i := 0; i < len(n.children); i++ {
+			if n.children[i].empty() {
+				n.children[i] = r
+				n.keys[b] = byte(i + 1)
+				n.numChildren++
+				return
+			}
+		}
+		panic("art: addChild on full Node48")
+	case kind256:
+		n.children[b] = r
+		n.numChildren++
+	}
+}
+
+// replaceChild overwrites the slot for b, which must exist. Caller
+// holds the node exclusively.
+func (n *node) replaceChild(b byte, r ref) {
+	switch n.kind {
+	case kind4, kind16:
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				n.children[i] = r
+				return
+			}
+		}
+		panic("art: replaceChild of absent branch")
+	case kind48:
+		idx := n.keys[b]
+		if idx == 0 {
+			panic("art: replaceChild of absent branch")
+		}
+		n.children[idx-1] = r
+	case kind256:
+		n.children[b] = r
+	}
+}
+
+// removeChild deletes the slot for b if present, reporting success.
+// Caller holds the node exclusively.
+func (n *node) removeChild(b byte) bool {
+	switch n.kind {
+	case kind4, kind16:
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				last := n.numChildren - 1
+				n.keys[i] = n.keys[last]
+				n.children[i] = n.children[last]
+				n.children[last] = ref{}
+				n.numChildren = last
+				return true
+			}
+		}
+		return false
+	case kind48:
+		idx := n.keys[b]
+		if idx == 0 {
+			return false
+		}
+		n.keys[b] = 0
+		n.children[idx-1] = ref{}
+		n.numChildren--
+		return true
+	case kind256:
+		if n.children[b].empty() {
+			return false
+		}
+		n.children[b] = ref{}
+		n.numChildren--
+		return true
+	}
+	return false
+}
+
+// grow returns a copy of n one kind larger, carrying the same prefix
+// and children. Caller holds n exclusively and publishes the copy
+// through the (also locked) parent before marking n obsolete.
+func (t *Tree) grow(n *node) *node {
+	var big *node
+	switch n.kind {
+	case kind4:
+		big = t.newNode(kind16)
+	case kind16:
+		big = t.newNode(kind48)
+	case kind48:
+		big = t.newNode(kind256)
+	default:
+		panic("art: grow of Node256")
+	}
+	big.prefixLen = n.prefixLen
+	big.prefix = n.prefix
+	switch n.kind {
+	case kind4, kind16:
+		for i := 0; i < n.numChildren; i++ {
+			big.addChild(n.keys[i], n.children[i])
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if idx := n.keys[b]; idx != 0 {
+				big.addChild(byte(b), n.children[idx-1])
+			}
+		}
+	}
+	return big
+}
+
+// NodeCounts returns the number of inner nodes by kind plus the leaf
+// count, walking the tree without synchronization (diagnostics; call
+// quiescent).
+func (t *Tree) NodeCounts() (n4, n16, n48, n256, leaves int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		switch n.kind {
+		case kind4:
+			n4++
+		case kind16:
+			n16++
+		case kind48:
+			n48++
+		case kind256:
+			n256++
+		}
+		for i := range n.children {
+			r := n.children[i]
+			if r.l != nil {
+				leaves++
+			} else if r.n != nil {
+				walk(r.n)
+			}
+		}
+	}
+	walk(t.root)
+	return
+}

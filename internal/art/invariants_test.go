@@ -1,0 +1,163 @@
+package art
+
+import (
+	"sync"
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/workload"
+)
+
+// checkInvariants walks the quiescent tree white-box and verifies:
+//   - numChildren matches the populated slots of each node kind,
+//   - Node48 indirection entries point at populated child slots,
+//   - every leaf's key bytes reproduce exactly the path (branch bytes
+//     and node prefixes) that leads to it,
+//   - no node's prefix extends past the 8-byte key length,
+//   - Len() equals the number of reachable leaves.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	leaves := 0
+	var walk func(n *node, level int, path []byte)
+	walk = func(n *node, level int, path []byte) {
+		if level+n.prefixLen > 8 {
+			t.Fatalf("prefix extends past key length at level %d (+%d)", level, n.prefixLen)
+		}
+		prefixedPath := append(append([]byte{}, path...), n.prefix[:n.prefixLen]...)
+		pos := level + n.prefixLen
+
+		visit := func(b byte, r ref) {
+			childPath := append(append([]byte{}, prefixedPath...), b)
+			if r.l != nil {
+				leaves++
+				for i, pb := range childPath {
+					if keyByte(r.l.key, i) != pb {
+						t.Fatalf("leaf %#x does not match its path at byte %d (path %x)", r.l.key, i, childPath)
+					}
+				}
+				return
+			}
+			walk(r.n, pos+1, childPath)
+		}
+
+		populated := 0
+		switch n.kind {
+		case kind4, kind16:
+			for i := 0; i < n.numChildren; i++ {
+				if n.children[i].empty() {
+					t.Fatal("counted slot is empty")
+				}
+				populated++
+				visit(n.keys[i], n.children[i])
+			}
+			for i := n.numChildren; i < len(n.children); i++ {
+				if !n.children[i].empty() {
+					t.Fatal("slot beyond count is populated")
+				}
+			}
+		case kind48:
+			for b := 0; b < 256; b++ {
+				idx := n.keys[b]
+				if idx == 0 {
+					continue
+				}
+				if int(idx) > len(n.children) || n.children[idx-1].empty() {
+					t.Fatalf("Node48 indirection for byte %d points at empty slot", b)
+				}
+				populated++
+				visit(byte(b), n.children[idx-1])
+			}
+		case kind256:
+			for b := 0; b < 256; b++ {
+				if n.children[b].empty() {
+					continue
+				}
+				populated++
+				visit(byte(b), n.children[b])
+			}
+		}
+		if populated != n.numChildren {
+			t.Fatalf("node kind %d: numChildren=%d but %d slots populated", n.kind, n.numChildren, populated)
+		}
+	}
+	walk(tr.root, 0, nil)
+	if leaves != tr.Len() {
+		t.Fatalf("Len() = %d but %d leaves reachable", tr.Len(), leaves)
+	}
+}
+
+func TestInvariantsAfterSequentialOps(t *testing.T) {
+	tr, pool := newTree(t, "OptiQL")
+	c := ctxFor(t, pool)
+	for i := uint64(0); i < 5000; i++ {
+		tr.Insert(c, sparse(i), i)
+		tr.Insert(c, i, i) // dense interleaved
+	}
+	checkInvariants(t, tr)
+	for i := uint64(0); i < 5000; i += 2 {
+		tr.Delete(c, sparse(i))
+		tr.Delete(c, i+1)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestInvariantsAfterConcurrentChaos(t *testing.T) {
+	for _, scheme := range []string{"OptiQL", "OptLock", "pthread"} {
+		t.Run(scheme, func(t *testing.T) {
+			tr, pool := newTree(t, scheme)
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := locks.NewCtx(pool, 8)
+					defer c.Close()
+					rng := workload.NewRNG(uint64(g) + 100)
+					for i := 0; i < 3000; i++ {
+						k := sparse(rng.Uint64n(2048))
+						switch rng.Uint64n(4) {
+						case 0:
+							tr.Insert(c, k, k)
+						case 1:
+							tr.Update(c, k, k)
+						case 2:
+							tr.Delete(c, k)
+						default:
+							tr.Lookup(c, k)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			checkInvariants(t, tr)
+		})
+	}
+}
+
+func TestInvariantsAfterExpansion(t *testing.T) {
+	tr := MustNew(Config{
+		Scheme:          locks.MustByName("OptiQL"),
+		ExpandThreshold: 1,
+		SampleInverse:   1,
+	})
+	pool := core.NewPool(64)
+	c := ctxFor(t, pool)
+	for i := uint64(0); i < 500; i++ {
+		tr.Insert(c, sparse(i), i)
+	}
+	// Expand several hot paths explicitly.
+	for i := uint64(0); i < 500; i += 50 {
+		tr.noteContention(c, tr.root, 0, sparse(i))
+	}
+	if tr.Expansions() == 0 {
+		t.Fatal("no expansion happened")
+	}
+	checkInvariants(t, tr)
+	for i := uint64(0); i < 500; i++ {
+		if v, ok := tr.Lookup(c, sparse(i)); !ok || v != i {
+			t.Fatalf("lookup %d after expansions = (%d, %v)", i, v, ok)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package art
+
+import "optiql/internal/locks"
+
+// Lookup returns the value stored under k, traversing with optimistic
+// lock coupling: node versions are validated hand over hand, and the
+// operation restarts on any failure. Under pessimistic schemes the same
+// path becomes shared lock coupling.
+func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
+restart:
+	n := t.root
+	level := 0
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	for {
+		if checkPrefix(n, k, level) < n.prefixLen {
+			// Prefix mismatch: the key is not in the tree (prefixes are
+			// stored in full, so this is definitive once validated).
+			if !n.lock.ReleaseSh(c, tok) {
+				goto restart
+			}
+			return 0, false
+		}
+		pos := level + n.prefixLen
+		if pos >= 8 {
+			// Possible only under a torn read; validation must fail.
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		r := n.findChild(keyByte(k, pos))
+		if r.empty() {
+			if !n.lock.ReleaseSh(c, tok) {
+				goto restart
+			}
+			return 0, false
+		}
+		if r.l != nil {
+			// Leaf: read key and value, then validate the owner node.
+			key, val := r.l.key, r.l.value
+			if !n.lock.ReleaseSh(c, tok) {
+				goto restart
+			}
+			if key != k {
+				return 0, false
+			}
+			return val, true
+		}
+		child := r.n
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+		level = pos + 1
+	}
+}

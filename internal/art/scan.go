@@ -1,0 +1,164 @@
+package art
+
+import (
+	"errors"
+	"sort"
+
+	"optiql/internal/locks"
+)
+
+// KV is a key/value pair returned by Scan.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// errRestart aborts the current scan attempt after a failed validation;
+// the scan resumes from the first uncollected key.
+var errRestart = errors.New("art: scan restart")
+
+// pathEnt records a node entered by the current walk together with the
+// version snapshot taken on entry, for chain validation.
+type pathEnt struct {
+	l   locks.Lock
+	tok locks.Token
+}
+
+// Scan collects up to max pairs with keys >= start in ascending key
+// order, appending to out and returning the extended slice.
+//
+// The traversal is a depth-first walk in branch-byte order. Under
+// optimistic schemes each pair is committed only after re-validating
+// the version of every node on the path from the root — which proves
+// the leaf's owner node is still reachable (not replaced by a grow,
+// shrink or prefix operation) and that its value could not have been
+// written concurrently. A failed validation discards nothing that was
+// already committed; the walk restarts after the last committed key.
+// Under pessimistic schemes the walk instead holds shared locks
+// top-down (at most one per level), in the same order writers acquire.
+func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
+	if max <= 0 {
+		return out
+	}
+	resume := start
+	for len(out) < max {
+		err := t.scanWalk(c, t.root, 0, resume, true, max, &out, nil)
+		if err == nil {
+			return out
+		}
+		if len(out) > 0 {
+			last := out[len(out)-1].Key
+			if last == ^uint64(0) {
+				return out
+			}
+			resume = last + 1
+		}
+	}
+	return out
+}
+
+// scanWalk visits n's subtree in order. onBoundary reports whether the
+// path to n still matches resume's byte prefix (the bound can cut into
+// this subtree); once the path exceeds the bound everything below is
+// collected unconditionally.
+func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBoundary bool, max int, out *[]KV, path []pathEnt) error {
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		return errRestart
+	}
+	pessimistic := !t.scheme.Optimistic
+	if pessimistic {
+		defer n.lock.ReleaseSh(c, tok)
+	}
+	// The prefix is immutable, so it can be compared without
+	// validation.
+	if onBoundary {
+		for i := 0; i < n.prefixLen; i++ {
+			pb := n.prefix[i]
+			rb := keyByte(resume, level+i)
+			if pb > rb {
+				onBoundary = false
+				break
+			}
+			if pb < rb {
+				return nil // entire subtree below the bound
+			}
+		}
+	}
+	pos := level + n.prefixLen
+	if pos >= 8 {
+		// Possible only via a torn racy read; force revalidation.
+		return errRestart
+	}
+	boundByte := keyByte(resume, pos)
+
+	// Snapshot the populated slots in branch-byte order, then validate
+	// the snapshot before dereferencing anything in it.
+	type slot struct {
+		b byte
+		r ref
+	}
+	var slots []slot
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.clampedChildren()
+		for i := 0; i < cnt; i++ {
+			slots = append(slots, slot{n.keys[i], n.children[i]})
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].b < slots[j].b })
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if idx := n.keys[b]; idx != 0 && int(idx) <= len(n.children) {
+				slots = append(slots, slot{byte(b), n.children[idx-1]})
+			}
+		}
+	case kind256:
+		for b := 0; b < 256; b++ {
+			if r := n.children[b]; !r.empty() {
+				slots = append(slots, slot{byte(b), r})
+			}
+		}
+	}
+	if !pessimistic && !n.lock.ReleaseSh(c, tok) {
+		return errRestart
+	}
+	path = append(path, pathEnt{n.lock, tok})
+
+	for _, s := range slots {
+		if len(*out) >= max {
+			return nil
+		}
+		if onBoundary && s.b < boundByte {
+			continue
+		}
+		childOnBoundary := onBoundary && s.b == boundByte
+		if s.r.l != nil {
+			l := s.r.l
+			key, val := l.key, l.value
+			if !pessimistic && !validateChain(c, path) {
+				return errRestart
+			}
+			if key >= resume {
+				*out = append(*out, KV{key, val})
+			}
+			continue
+		}
+		if s.r.n != nil {
+			if err := t.scanWalk(c, s.r.n, pos+1, resume, childOnBoundary, max, out, path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateChain re-checks every version snapshot on the path; all must
+// be unchanged for a pair to be committed.
+func validateChain(c *locks.Ctx, path []pathEnt) bool {
+	for i := range path {
+		if !path[i].l.ReleaseSh(c, path[i].tok) {
+			return false
+		}
+	}
+	return true
+}

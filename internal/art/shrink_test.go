@@ -1,0 +1,157 @@
+package art
+
+import (
+	"sync"
+	"testing"
+
+	"optiql/internal/locks"
+	"optiql/internal/workload"
+)
+
+// TestShrinkThroughKinds grows one node through every kind and drains
+// it back down, checking the representation tightens again.
+func TestShrinkThroughKinds(t *testing.T) {
+	tr, pool := newTree(t, "OptiQL")
+	c := ctxFor(t, pool)
+	base := uint64(0x1122334455667700)
+	for i := uint64(0); i < 256; i++ {
+		tr.Insert(c, base|i, i)
+	}
+	_, _, _, n256, _ := tr.NodeCounts()
+	if n256 < 2 {
+		t.Fatalf("population did not reach Node256: %d", n256)
+	}
+	// Drain down to 2 keys: the chain must shrink back below Node48.
+	for i := uint64(2); i < 256; i++ {
+		if !tr.Delete(c, base|i) {
+			t.Fatalf("delete miss %d", i)
+		}
+	}
+	checkInvariants(t, tr)
+	n4, n16, n48, n256b, leaves := tr.NodeCounts()
+	if leaves != 2 {
+		t.Fatalf("leaves = %d, want 2", leaves)
+	}
+	if n256b != 1 { // only the root remains a Node256
+		t.Fatalf("Node256 count = %d after drain (root only expected); n4=%d n16=%d n48=%d",
+			n256b, n4, n16, n48)
+	}
+	for i := uint64(0); i < 2; i++ {
+		if v, ok := tr.Lookup(c, base|i); !ok || v != i {
+			t.Fatalf("lookup %d after shrink = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestPathCompressionRemerge deletes one of two deep siblings and
+// expects the surviving key's path to collapse back toward the root.
+func TestPathCompressionRemerge(t *testing.T) {
+	tr, pool := newTree(t, "OptiQL")
+	c := ctxFor(t, pool)
+	k1 := uint64(0xAABBCCDDEEFF0011)
+	k2 := uint64(0xAABBCCDDEEFF0022) // diverges at the last byte
+	tr.Insert(c, k1, 1)
+	tr.Insert(c, k2, 2)
+	n4Before, _, _, _, _ := tr.NodeCounts()
+	if n4Before != 1 {
+		t.Fatalf("expected one branching Node4, have %d", n4Before)
+	}
+	if !tr.Delete(c, k2) {
+		t.Fatal("delete miss")
+	}
+	checkInvariants(t, tr)
+	n4After, _, _, _, leaves := tr.NodeCounts()
+	if leaves != 1 {
+		t.Fatalf("leaves = %d", leaves)
+	}
+	if n4After != 0 {
+		t.Fatalf("single-child Node4 not compressed away (%d remain)", n4After)
+	}
+	if v, ok := tr.Lookup(c, k1); !ok || v != 1 {
+		t.Fatalf("survivor lookup = (%d, %v)", v, ok)
+	}
+	// Re-inserting the deleted key must still work via lazy split.
+	tr.Insert(c, k2, 3)
+	if v, ok := tr.Lookup(c, k2); !ok || v != 3 {
+		t.Fatalf("re-insert lookup = (%d, %v)", v, ok)
+	}
+	checkInvariants(t, tr)
+}
+
+// TestShrinkUnderConcurrency drains most of a sparse population while
+// other threads read and re-insert, then verifies full consistency.
+func TestShrinkUnderConcurrency(t *testing.T) {
+	tr, pool := newTree(t, "OptiQL")
+	const n = 20000
+	c0 := locks.NewCtx(pool, 8)
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(c0, sparse(i), i)
+	}
+	c0.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			for i := uint64(g); i < n; i += 4 {
+				if i%8 < 6 { // delete 3/4 of keys
+					tr.Delete(c, sparse(i))
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			rng := workload.NewRNG(uint64(g) + 33)
+			for i := 0; i < n; i++ {
+				k := sparse(rng.Uint64n(n))
+				if v, ok := tr.Lookup(c, k); ok && v >= n {
+					t.Errorf("lookup returned foreign value %d", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkInvariants(t, tr)
+	// Survivors must all resolve.
+	c := ctxFor(t, pool)
+	for i := uint64(0); i < n; i++ {
+		_, ok := tr.Lookup(c, sparse(i))
+		want := i%8 >= 6
+		if ok != want {
+			t.Fatalf("key %d present=%v want=%v", i, ok, want)
+		}
+	}
+}
+
+// TestShrinkSkippedForPessimistic confirms pessimistic schemes delete
+// correctly without structural cleanup.
+func TestShrinkSkippedForPessimistic(t *testing.T) {
+	tr, pool := newTree(t, "pthread")
+	c := ctxFor(t, pool)
+	base := uint64(0x3344556677889900)
+	for i := uint64(0); i < 32; i++ {
+		tr.Insert(c, base|i, i)
+	}
+	for i := uint64(1); i < 32; i++ {
+		if !tr.Delete(c, base|i) {
+			t.Fatalf("delete miss %d", i)
+		}
+	}
+	if v, ok := tr.Lookup(c, base); !ok || v != 0 {
+		t.Fatalf("survivor lookup = (%d, %v)", v, ok)
+	}
+	checkInvariants(t, tr)
+}

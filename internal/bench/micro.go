@@ -1,0 +1,311 @@
+// Package bench implements the paper's two benchmark harnesses: the
+// lock microbenchmark framework of Section 7.1-7.2 (pluggable lock
+// implementations, contention controlled by the number of locks,
+// tunable critical-section length, mixed read/write ratios) and a
+// PiBench-style index benchmark driver for the B+-tree and ART
+// experiments of Sections 7.3-7.6 (preloaded records, operation mixes,
+// key distributions, thread sweeps, tail-latency collection).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/workload"
+)
+
+// Contention levels of Figure 6, expressed as the number of locks the
+// threads pick from uniformly at random.
+const (
+	ExtremeContention = 1
+	HighContention    = 5
+	MediumContention  = 30000
+	LowContention     = 1000000
+	// NoContention is the per-thread-lock mode (0 locks shared).
+	NoContention = 0
+)
+
+// ContentionLevels maps Figure 6's panel names to lock counts.
+func ContentionLevels() []struct {
+	Name  string
+	Locks int
+} {
+	return []struct {
+		Name  string
+		Locks int
+	}{
+		{"extreme", ExtremeContention},
+		{"high", HighContention},
+		{"medium", MediumContention},
+		{"low", LowContention},
+		{"none", NoContention},
+	}
+}
+
+// MicroConfig parameterizes one microbenchmark run.
+type MicroConfig struct {
+	// Scheme is the lock variant name (see locks.AllNames).
+	Scheme string
+	// Threads is the number of concurrent workers.
+	Threads int
+	// Locks is the number of locks contended on (uniform random pick);
+	// 0 means one private lock per thread ("no contention").
+	Locks int
+	// ReadPct is the percentage of operations that are reads (0-100).
+	// Schemes without shared mode require 0.
+	ReadPct int
+	// CSLen is the critical-section length: the number of times the
+	// thread increments a volatile stack variable (paper default: 50).
+	CSLen int
+	// Duration is the measured run length.
+	Duration time.Duration
+	// Split dedicates ReadPct percent of the threads to pure reads and
+	// the rest to pure writes, instead of mixing operations within each
+	// thread. On machines with fewer cores than threads this keeps the
+	// writer queue standing, which is the regime Table 1 measures; see
+	// EXPERIMENTS.md.
+	Split bool
+}
+
+func (c *MicroConfig) normalize() error {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.CSLen == 0 {
+		c.CSLen = 50
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		return fmt.Errorf("bench: ReadPct %d out of range", c.ReadPct)
+	}
+	s, err := locks.ByName(c.Scheme)
+	if err != nil {
+		return err
+	}
+	if c.ReadPct > 0 && !s.SharedMode {
+		return fmt.Errorf("bench: scheme %s cannot run reads", c.Scheme)
+	}
+	return nil
+}
+
+// MicroResult aggregates a microbenchmark run. A "read operation"
+// retries until its validation succeeds, as in the paper; the success
+// rate (Table 1) is successful validations over attempts.
+type MicroResult struct {
+	Config       MicroConfig
+	Elapsed      time.Duration
+	Ops          uint64 // completed operations (reads + writes)
+	Writes       uint64
+	Reads        uint64 // completed (validated) reads
+	ReadAttempts uint64
+	// PerThreadOps records each worker's completed operations,
+	// supporting the fairness analysis of Section 1.1 ("lucky" threads
+	// under backoff acquire the lock ~3x more often than others).
+	PerThreadOps []uint64
+}
+
+// Mops returns throughput in million operations per second.
+func (r MicroResult) Mops() float64 {
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// ReadSuccessRate returns validated reads over read attempts (1.0 when
+// no read ever failed; 0 when no reads ran).
+func (r MicroResult) ReadSuccessRate() float64 {
+	if r.ReadAttempts == 0 {
+		return 0
+	}
+	return float64(r.Reads) / float64(r.ReadAttempts)
+}
+
+// csWork simulates the critical section: n increments of a stack
+// variable that the compiler must not elide (the paper's "increment a
+// volatile variable on the stack").
+//
+//go:noinline
+func csWork(n int) int {
+	v := 0
+	for i := 0; i < n; i++ {
+		v++
+	}
+	return v
+}
+
+// csSink defeats dead-code elimination of csWork results.
+var csSink atomic.Int64
+
+// RunMicro executes one microbenchmark run.
+func RunMicro(cfg MicroConfig) (MicroResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return MicroResult{}, err
+	}
+	scheme := locks.MustByName(cfg.Scheme)
+
+	nLocks := cfg.Locks
+	perThread := nLocks == 0
+	if perThread {
+		nLocks = cfg.Threads
+	}
+	lockSet := make([]locks.Lock, nLocks)
+	for i := range lockSet {
+		lockSet[i] = scheme.NewLock()
+	}
+	pool := core.NewPool(min(core.MaxQNodes, cfg.Threads*4))
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		results = make([]MicroResult, cfg.Threads)
+	)
+	begin := make(chan struct{})
+	for w := 0; w < cfg.Threads; w++ {
+		w := w
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			c := locks.NewCtx(pool, 4)
+			defer c.Close()
+			rng := workload.NewRNG(uint64(w) + 1)
+			// In split mode the first readerThreads workers only read.
+			readerThread := cfg.Split && w < cfg.Threads*cfg.ReadPct/100
+			started.Done()
+			<-begin
+			var res MicroResult
+			sink := 0
+			for !stop.Load() {
+				var l locks.Lock
+				if perThread {
+					l = lockSet[w]
+				} else {
+					l = lockSet[rng.Uint64n(uint64(nLocks))]
+				}
+				isRead := int(rng.Uint64n(100)) < cfg.ReadPct
+				if cfg.Split {
+					isRead = readerThread
+				}
+				if isRead {
+					// Read: retry until a validated read completes,
+					// busy-polling like the paper's C++ readers (the Go
+					// runtime's asynchronous preemption keeps writers
+					// progressing even with more threads than cores).
+					spins := 0
+					for {
+						res.ReadAttempts++
+						tok, ok := l.AcquireSh(c)
+						if ok {
+							sink += csWork(cfg.CSLen)
+							if l.ReleaseSh(c, tok) {
+								break
+							}
+						}
+						spins++
+						if spins&1023 == 0 && stop.Load() {
+							res.ReadAttempts-- // drop the aborted attempt
+							break
+						}
+					}
+					res.Reads++
+					res.Ops++
+				} else {
+					tok := l.AcquireEx(c)
+					sink += csWork(cfg.CSLen)
+					l.CloseWindow(tok)
+					l.ReleaseEx(c, tok)
+					res.Writes++
+					res.Ops++
+				}
+			}
+			csSink.Add(int64(sink))
+			results[w] = res
+		}()
+	}
+	started.Wait()
+	start := time.Now()
+	close(begin)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+
+	total := MicroResult{Config: cfg, Elapsed: elapsed}
+	for _, r := range results {
+		total.Ops += r.Ops
+		total.Writes += r.Writes
+		total.Reads += r.Reads
+		total.ReadAttempts += r.ReadAttempts
+		total.PerThreadOps = append(total.PerThreadOps, r.Ops)
+	}
+	return total, nil
+}
+
+// FairnessRatio returns the ratio between the busiest and least busy
+// worker's completed operations — 1.0 is perfectly fair; the paper
+// observed ~3x under exponential backoff. Returns 0 if any worker
+// completed nothing.
+func (r MicroResult) FairnessRatio() float64 {
+	if len(r.PerThreadOps) == 0 {
+		return 0
+	}
+	lo, hi := r.PerThreadOps[0], r.PerThreadOps[0]
+	for _, n := range r.PerThreadOps[1:] {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}
+
+// Repeat runs fn `runs` times and returns the mean and half-width of a
+// 95% confidence interval over its float results (normal
+// approximation), matching the paper's "average of N runs with error
+// margins" reporting.
+func Repeat(runs int, fn func() (float64, error)) (mean, ci float64, err error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	xs := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		x, err := fn()
+		if err != nil {
+			return 0, 0, err
+		}
+		xs = append(xs, x)
+	}
+	return Stats(xs)
+}
+
+// Stats returns the mean and 95% CI half-width of xs.
+func Stats(xs []float64) (mean, ci float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("bench: no samples")
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0, nil
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	stddev := math.Sqrt(ss / float64(len(xs)-1))
+	return mean, 1.96 * stddev / math.Sqrt(float64(len(xs))), nil
+}

@@ -1,0 +1,222 @@
+package btree
+
+import "optiql/internal/locks"
+
+// minFill is the underflow threshold: a leaf (or inner node) holding
+// fewer than fanout/minFillDiv keys after a delete is rebalanced by
+// borrowing from or merging with a sibling. The fast path deletes
+// in place; rebalancing restarts in pessimistic mode like insert SMOs.
+const minFillDiv = 4
+
+func (t *Tree) minKeys() int {
+	m := t.fanout / minFillDiv
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// deletePessimistic exclusively couples from the root to the leaf,
+// keeping locks on the chain of nodes that could underflow, removes
+// the key, and rebalances bottom-up (borrow from a sibling when it has
+// spare keys, merge otherwise). Returns whether the key was present.
+func (t *Tree) deletePessimistic(c *locks.Ctx, k uint64) bool {
+restart:
+	n := t.root.Load()
+	tok := n.lock.AcquireEx(c)
+	n.lock.CloseWindow(tok)
+	if n != t.root.Load() {
+		n.lock.ReleaseEx(c, tok)
+		goto restart
+	}
+	stack := make([]held, 0, 8)
+	childIdx := make([]int, 0, 8) // childIdx[i] = slot taken out of stack[i].n
+	stack = append(stack, held{n, tok})
+	for !n.leaf {
+		i := n.childIndex(k)
+		child := n.children[i]
+		ctok := child.lock.AcquireEx(c)
+		child.lock.CloseWindow(ctok)
+		if child.count > t.minKeys() {
+			// Child cannot underflow: release every ancestor.
+			for _, h := range stack {
+				h.n.lock.ReleaseEx(c, h.tok)
+			}
+			stack = stack[:0]
+			childIdx = childIdx[:0]
+		}
+		// Keep the alignment childIdx[j] == slot of stack[j+1] within
+		// stack[j]: when the stack was just reset, child becomes its
+		// new bottom and records no slot.
+		if len(stack) > 0 {
+			childIdx = append(childIdx, i)
+		}
+		stack = append(stack, held{child, ctok})
+		n = child
+	}
+	removed := t.deleteAndRebalance(c, stack, childIdx, k)
+	for _, h := range stack {
+		h.n.lock.ReleaseEx(c, h.tok)
+	}
+	return removed
+}
+
+// deleteAndRebalance removes k from the leaf at the top of the locked
+// stack and restores fill invariants up the locked chain.
+// childIdx[i] is the slot of stack[i+1].n within stack[i].n.
+func (t *Tree) deleteAndRebalance(c *locks.Ctx, stack []held, childIdx []int, k uint64) bool {
+	leaf := stack[len(stack)-1].n
+	i, found := leaf.leafFind(k)
+	if !found {
+		return false
+	}
+	copy(leaf.keys[i:leaf.count-1], leaf.keys[i+1:leaf.count])
+	copy(leaf.values[i:leaf.count-1], leaf.values[i+1:leaf.count])
+	leaf.count--
+	t.size.Add(-1)
+
+	// Rebalance from the leaf upward through the locked ancestors.
+	for level := len(stack) - 1; level > 0; level-- {
+		if stack[level].n.count >= t.minKeys() {
+			break
+		}
+		parent := stack[level-1].n
+		slot := childIdx[level-1]
+		if !t.rebalance(c, parent, slot, &stack[level]) {
+			break // borrowed; no parent key count change
+		}
+	}
+	// Collapse the root if it is an inner node with a single child.
+	root := stack[0].n
+	if root == t.root.Load() && !root.leaf && root.count == 0 {
+		t.root.Store(root.children[0])
+	}
+	return true
+}
+
+// rebalance fixes the underfull child at parent.children[slot] by
+// borrowing from an adjacent sibling when possible, merging otherwise.
+// It returns true iff a merge removed a separator from the parent
+// (which may then itself underflow). The parent and h.n are
+// exclusively held.
+//
+// Lock ordering: every code path that holds two children at once —
+// coupled scans walking the sibling chain and this function — acquires
+// them left to right, which rules out deadlock under pessimistic
+// schemes. For a right sibling that order is natural; to involve the
+// LEFT sibling, h.n is released first, the pair is re-acquired in
+// order, and the underflow condition is re-checked (the exclusively
+// held parent keeps the sibling relationship itself stable).
+func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged bool) {
+	n := h.n
+	// Prefer the right sibling, fall back to the left.
+	if slot < parent.count {
+		sib := parent.children[slot+1]
+		stok := sib.lock.AcquireEx(c)
+		sib.lock.CloseWindow(stok)
+		defer sib.lock.ReleaseEx(c, stok)
+		if sib.count > t.minKeys() {
+			t.borrowFromRight(parent, slot, n, sib)
+			return false
+		}
+		t.mergeRightInto(parent, slot, n, sib)
+		return true
+	}
+	if slot > 0 {
+		sib := parent.children[slot-1]
+		// Re-acquire left to right.
+		n.lock.ReleaseEx(c, h.tok)
+		stok := sib.lock.AcquireEx(c)
+		sib.lock.CloseWindow(stok)
+		h.tok = n.lock.AcquireEx(c)
+		n.lock.CloseWindow(h.tok)
+		defer sib.lock.ReleaseEx(c, stok)
+		if n.count >= t.minKeys() {
+			// A fast-path insert refilled the node while it was
+			// unlocked: nothing to rebalance anymore.
+			return false
+		}
+		if sib.count > t.minKeys() {
+			t.borrowFromLeft(parent, slot, n, sib)
+			return false
+		}
+		// Merge n into its left sibling: same as merging "right into
+		// left" with roles shifted one slot.
+		t.mergeRightInto(parent, slot-1, sib, n)
+		return true
+	}
+	// Root child with no siblings: nothing to do.
+	return false
+}
+
+// borrowFromRight moves the right sibling's first entry into n and
+// refreshes the separator.
+func (t *Tree) borrowFromRight(parent *node, slot int, n, sib *node) {
+	if n.leaf {
+		n.keys[n.count] = sib.keys[0]
+		n.values[n.count] = sib.values[0]
+		n.count++
+		copy(sib.keys[0:sib.count-1], sib.keys[1:sib.count])
+		copy(sib.values[0:sib.count-1], sib.values[1:sib.count])
+		sib.count--
+		parent.keys[slot] = sib.keys[0]
+		return
+	}
+	// Inner: rotate through the parent separator.
+	n.keys[n.count] = parent.keys[slot]
+	n.children[n.count+1] = sib.children[0]
+	n.count++
+	parent.keys[slot] = sib.keys[0]
+	copy(sib.keys[0:sib.count-1], sib.keys[1:sib.count])
+	copy(sib.children[0:sib.count], sib.children[1:sib.count+1])
+	sib.count--
+}
+
+// borrowFromLeft moves the left sibling's last entry into n and
+// refreshes the separator. slot is n's position in the parent.
+func (t *Tree) borrowFromLeft(parent *node, slot int, n, sib *node) {
+	if n.leaf {
+		copy(n.keys[1:n.count+1], n.keys[0:n.count])
+		copy(n.values[1:n.count+1], n.values[0:n.count])
+		n.keys[0] = sib.keys[sib.count-1]
+		n.values[0] = sib.values[sib.count-1]
+		n.count++
+		sib.count--
+		parent.keys[slot-1] = n.keys[0]
+		return
+	}
+	copy(n.keys[1:n.count+1], n.keys[0:n.count])
+	copy(n.children[1:n.count+2], n.children[0:n.count+1])
+	n.keys[0] = parent.keys[slot-1]
+	n.children[0] = sib.children[sib.count]
+	n.count++
+	parent.keys[slot-1] = sib.keys[sib.count-1]
+	sib.count--
+}
+
+// mergeRightInto folds right (parent.children[slot+1]) into left
+// (parent.children[slot]) and removes the separator at slot. Both
+// children and the parent are exclusively held. The emptied right node
+// stays consistent for concurrent optimistic readers: its count drops
+// to zero and its sibling pointer keeps pointing onward, so in-flight
+// scans pass through it harmlessly (their validation of the right
+// node's lock fails anyway once it is released).
+func (t *Tree) mergeRightInto(parent *node, slot int, left, right *node) {
+	if left.leaf {
+		copy(left.keys[left.count:left.count+right.count], right.keys[:right.count])
+		copy(left.values[left.count:left.count+right.count], right.values[:right.count])
+		left.count += right.count
+		right.count = 0
+		left.next = right.next
+	} else {
+		left.keys[left.count] = parent.keys[slot]
+		copy(left.keys[left.count+1:left.count+1+right.count], right.keys[:right.count])
+		copy(left.children[left.count+1:left.count+2+right.count], right.children[:right.count+1])
+		left.count += right.count + 1
+		right.count = 0
+	}
+	// Remove separator `slot` and the right child pointer from parent.
+	copy(parent.keys[slot:parent.count-1], parent.keys[slot+1:parent.count])
+	copy(parent.children[slot+1:parent.count], parent.children[slot+2:parent.count+1])
+	parent.count--
+}

@@ -1,0 +1,139 @@
+package btree
+
+import "optiql/internal/locks"
+
+// Lookup returns the value stored under k. The traversal is optimistic
+// lock coupling: each node's version is validated after the child has
+// been reached, and the whole operation restarts on any validation
+// failure. Under pessimistic schemes the same code degrades gracefully
+// to shared lock coupling (acquisitions block, validation always
+// passes).
+func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
+restart:
+	n := t.root.Load()
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	if n != t.root.Load() {
+		n.lock.ReleaseSh(c, tok)
+		goto restart
+	}
+	for !n.leaf {
+		child := n.children[n.childIndex(k)]
+		if child == nil {
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			// Optimistic only: nothing is held, so just retry.
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+	}
+	i, found := n.leafFind(k)
+	var v uint64
+	if found {
+		v = n.values[i]
+	}
+	if !n.lock.ReleaseSh(c, tok) {
+		goto restart
+	}
+	return v, found
+}
+
+// KV is a key/value pair returned by Scan.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Scan collects up to max pairs with keys >= start in ascending order,
+// appending to out and returning the extended slice. It descends to the
+// first relevant leaf and then walks the sibling chain with coupled
+// per-leaf validation: a failed validation discards the current leaf's
+// batch and restarts the scan from the first uncollected key.
+func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
+	if max <= 0 {
+		return out
+	}
+	resume := start
+	tmp := make([]KV, 0, 16)
+restart:
+	if len(out) >= max {
+		return out
+	}
+	// Descend to the leaf covering resume.
+	n := t.root.Load()
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	if n != t.root.Load() {
+		n.lock.ReleaseSh(c, tok)
+		goto restart
+	}
+	for !n.leaf {
+		child := n.children[n.childIndex(resume)]
+		if child == nil {
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+	}
+	// Walk the sibling chain.
+	for {
+		tmp = tmp[:0]
+		cnt := n.clampedCount()
+		for i := n.lowerBound(resume); i < cnt && len(out)+len(tmp) < max; i++ {
+			tmp = append(tmp, KV{n.keys[i], n.values[i]})
+		}
+		nxt := n.next
+		var ntok locks.Token
+		if nxt != nil && len(out)+len(tmp) < max {
+			var nok bool
+			ntok, nok = nxt.lock.AcquireSh(c)
+			if !nok {
+				n.lock.ReleaseSh(c, tok)
+				goto restart
+			}
+		} else {
+			nxt = nil
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			if nxt != nil {
+				nxt.lock.ReleaseSh(c, ntok)
+			}
+			goto restart
+		}
+		// This leaf's batch is now validated: commit it.
+		out = append(out, tmp...)
+		if len(tmp) > 0 {
+			last := tmp[len(tmp)-1].Key
+			if last == ^uint64(0) {
+				if nxt != nil {
+					nxt.lock.ReleaseSh(c, ntok)
+				}
+				return out
+			}
+			resume = last + 1
+		}
+		if nxt == nil {
+			return out
+		}
+		n, tok = nxt, ntok
+	}
+}

@@ -1,0 +1,388 @@
+package btree
+
+import "optiql/internal/locks"
+
+// Update sets the value of an existing key, returning whether the key
+// was found. It implements Algorithm 4: optimistic traversal, then the
+// leaf lock is taken exclusively *directly* (queueing under OptiQL
+// instead of upgrade-retrying), and only then is the parent validated.
+// Under the AOR scheme the opportunistic read window stays open through
+// the leaf search and closes just before the value write.
+func (t *Tree) Update(c *locks.Ctx, k, v uint64) bool {
+restart:
+	n := t.root.Load()
+	if n.leaf {
+		// Single-node tree: lock the root leaf directly.
+		wtok := n.lock.AcquireEx(c)
+		if n != t.root.Load() {
+			n.lock.ReleaseEx(c, wtok)
+			goto restart
+		}
+		ok := t.updateLocked(n, wtok, k, v)
+		n.lock.ReleaseEx(c, wtok)
+		return ok
+	}
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	if n != t.root.Load() {
+		n.lock.ReleaseSh(c, tok)
+		goto restart
+	}
+	for {
+		child := n.children[n.childIndex(k)]
+		if child == nil {
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		if child.leaf {
+			// Lock the leaf directly (Alg 4 line 17), then validate
+			// the parent (lines 21-23).
+			wtok := child.lock.AcquireEx(c)
+			if !n.lock.ReleaseSh(c, tok) {
+				child.lock.ReleaseEx(c, wtok)
+				goto restart
+			}
+			ok := t.updateLocked(child, wtok, k, v)
+			child.lock.ReleaseEx(c, wtok)
+			return ok
+		}
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+	}
+}
+
+// updateLocked performs the in-leaf search and write while the leaf is
+// exclusively held. The opportunistic read window (AOR) remains open
+// during the search and is closed before the first modification.
+func (t *Tree) updateLocked(n *node, wtok locks.Token, k, v uint64) bool {
+	i, found := n.leafFind(k)
+	n.lock.CloseWindow(wtok)
+	if found {
+		n.values[i] = v
+	}
+	return found
+}
+
+// Insert stores (k, v), returning true if the key was newly inserted
+// and false if an existing key's value was overwritten. The fast path
+// mirrors Update; when the target leaf is full the operation restarts
+// in pessimistic mode, exclusively coupling down the tree and splitting
+// bottom-up.
+func (t *Tree) Insert(c *locks.Ctx, k, v uint64) bool {
+restart:
+	n := t.root.Load()
+	if n.leaf {
+		wtok := n.lock.AcquireEx(c)
+		if n != t.root.Load() {
+			n.lock.ReleaseEx(c, wtok)
+			goto restart
+		}
+		if n.full() {
+			if _, found := n.leafFind(k); !found {
+				n.lock.ReleaseEx(c, wtok)
+				t.insertPessimistic(c, k, v)
+				return true
+			}
+		}
+		ins := t.insertLocked(n, wtok, k, v)
+		n.lock.ReleaseEx(c, wtok)
+		return ins
+	}
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	if n != t.root.Load() {
+		n.lock.ReleaseSh(c, tok)
+		goto restart
+	}
+	for {
+		child := n.children[n.childIndex(k)]
+		if child == nil {
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		if child.leaf {
+			wtok := child.lock.AcquireEx(c)
+			if !n.lock.ReleaseSh(c, tok) {
+				child.lock.ReleaseEx(c, wtok)
+				goto restart
+			}
+			if child.full() {
+				if _, found := child.leafFind(k); !found {
+					// Needs a split: fall back to pessimistic insert.
+					child.lock.ReleaseEx(c, wtok)
+					t.insertPessimistic(c, k, v)
+					return true
+				}
+			}
+			ins := t.insertLocked(child, wtok, k, v)
+			child.lock.ReleaseEx(c, wtok)
+			return ins
+		}
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+	}
+}
+
+// insertLocked inserts into a leaf known to have room (or updates in
+// place), while the leaf is exclusively held.
+func (t *Tree) insertLocked(n *node, wtok locks.Token, k, v uint64) bool {
+	i, found := n.leafFind(k)
+	n.lock.CloseWindow(wtok)
+	if found {
+		n.values[i] = v
+		return false
+	}
+	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
+	copy(n.values[i+1:n.count+1], n.values[i:n.count])
+	n.keys[i] = k
+	n.values[i] = v
+	n.count++
+	t.size.Add(1)
+	return true
+}
+
+// held tracks an exclusively locked node during pessimistic descent.
+type held struct {
+	n   *node
+	tok locks.Token
+}
+
+// insertPessimistic exclusively couples from the root to the target
+// leaf, keeping locks on the chain of full ("unsafe") nodes that a
+// split may propagate into, then inserts and splits bottom-up. This is
+// the classic SMO path of pessimistic lock coupling, used by all
+// schemes once the optimistic fast path has detected a full leaf.
+func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) {
+restart:
+	n := t.root.Load()
+	tok := n.lock.AcquireEx(c)
+	if n != t.root.Load() {
+		n.lock.ReleaseEx(c, tok)
+		goto restart
+	}
+	stack := make([]held, 0, 8)
+	stack = append(stack, held{n, tok})
+	for !n.leaf {
+		child := n.children[n.childIndex(k)]
+		ctok := child.lock.AcquireEx(c)
+		child.lock.CloseWindow(ctok)
+		if !child.full() {
+			// Child is safe: no split can propagate above it, so
+			// release every ancestor.
+			for _, h := range stack {
+				h.n.lock.ReleaseEx(c, h.tok)
+			}
+			stack = stack[:0]
+		}
+		stack = append(stack, held{child, ctok})
+		n = child
+	}
+	// The root lock (or a safe ancestor) pins the structure; close any
+	// AOR windows on the chain before modifying.
+	for _, h := range stack {
+		h.n.lock.CloseWindow(h.tok)
+	}
+	t.insertAndSplit(c, stack, k, v)
+	for _, h := range stack {
+		h.n.lock.ReleaseEx(c, h.tok)
+	}
+}
+
+// insertAndSplit inserts (k, v) into the leaf at the top of the locked
+// stack, splitting upward through the locked ancestors as needed.
+func (t *Tree) insertAndSplit(c *locks.Ctx, stack []held, k, v uint64) {
+	leaf := stack[len(stack)-1].n
+	if i, found := leaf.leafFind(k); found {
+		leaf.values[i] = v
+		return
+	}
+	if !leaf.full() {
+		i, _ := leaf.leafFind(k)
+		copy(leaf.keys[i+1:leaf.count+1], leaf.keys[i:leaf.count])
+		copy(leaf.values[i+1:leaf.count+1], leaf.values[i:leaf.count])
+		leaf.keys[i] = k
+		leaf.values[i] = v
+		leaf.count++
+		t.size.Add(1)
+		return
+	}
+	// Split the leaf. The new key goes into its half before the right
+	// sibling is published anywhere (sibling pointer or parent slot),
+	// so no traversal can observe the sibling mid-modification.
+	sep, right := t.splitLeaf(leaf)
+	if k >= sep {
+		t.insertIntoLeaf(right, k, v)
+	} else {
+		t.insertIntoLeaf(leaf, k, v)
+	}
+	right.next = leaf.next
+	leaf.next = right
+	t.size.Add(1)
+	t.propagateSplit(c, stack, len(stack)-2, sep, right)
+}
+
+// propagateSplit inserts separator sep and new right node into the
+// ancestor at stack[idx], splitting it as needed. idx == -1 means the
+// split reached the root (stack[0]), which grows the tree by one level.
+func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, right *node) {
+	if idx < 0 {
+		// stack[0] is the root and it just split (or it is a leaf that
+		// split): grow a new root.
+		old := stack[0].n
+		newRoot := t.newInner()
+		newRoot.keys[0] = sep
+		newRoot.children[0] = old
+		newRoot.children[1] = right
+		newRoot.count = 1
+		t.root.Store(newRoot)
+		return
+	}
+	parent := stack[idx].n
+	if !parent.full() {
+		t.insertIntoInner(parent, sep, right)
+		return
+	}
+	psep, pright := t.splitInner(parent)
+	if sep >= psep {
+		t.insertIntoInner(pright, sep, right)
+	} else {
+		t.insertIntoInner(parent, sep, right)
+	}
+	t.propagateSplit(c, stack, idx-1, psep, pright)
+}
+
+// splitLeaf moves the upper half of leaf into a fresh right sibling and
+// returns the separator (first key of the right node) and the sibling.
+// The caller holds the leaf exclusively and is responsible for linking
+// the sibling chain after any pending insert into the new node.
+func (t *Tree) splitLeaf(n *node) (uint64, *node) {
+	right := t.newLeaf()
+	mid := n.count / 2
+	copy(right.keys, n.keys[mid:n.count])
+	copy(right.values, n.values[mid:n.count])
+	right.count = n.count - mid
+	n.count = mid
+	return right.keys[0], right
+}
+
+// splitInner moves the upper half of an inner node into a fresh right
+// sibling, returning the separator pushed up and the sibling.
+func (t *Tree) splitInner(n *node) (uint64, *node) {
+	right := t.newInner()
+	mid := n.count / 2
+	sep := n.keys[mid]
+	copy(right.keys, n.keys[mid+1:n.count])
+	copy(right.children, n.children[mid+1:n.count+1])
+	right.count = n.count - mid - 1
+	n.count = mid
+	return sep, right
+}
+
+func (t *Tree) insertIntoLeaf(n *node, k, v uint64) {
+	i, _ := n.leafFind(k)
+	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
+	copy(n.values[i+1:n.count+1], n.values[i:n.count])
+	n.keys[i] = k
+	n.values[i] = v
+	n.count++
+}
+
+func (t *Tree) insertIntoInner(n *node, sep uint64, right *node) {
+	i := n.lowerBound(sep)
+	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
+	copy(n.children[i+2:n.count+2], n.children[i+1:n.count+1])
+	n.keys[i] = sep
+	n.children[i+1] = right
+	n.count++
+}
+
+// Delete removes k, returning whether it was present. The fast path
+// removes in place under the leaf's exclusive lock (Algorithm-4 style:
+// lock the leaf directly, then validate the parent); when the removal
+// would underflow the leaf, the operation restarts pessimistically and
+// rebalances by borrowing from or merging with a sibling (delete.go).
+func (t *Tree) Delete(c *locks.Ctx, k uint64) bool {
+restart:
+	n := t.root.Load()
+	if n.leaf {
+		wtok := n.lock.AcquireEx(c)
+		if n != t.root.Load() {
+			n.lock.ReleaseEx(c, wtok)
+			goto restart
+		}
+		ok := t.deleteLocked(n, wtok, k)
+		n.lock.ReleaseEx(c, wtok)
+		return ok
+	}
+	tok, ok := n.lock.AcquireSh(c)
+	if !ok {
+		goto restart
+	}
+	if n != t.root.Load() {
+		n.lock.ReleaseSh(c, tok)
+		goto restart
+	}
+	for {
+		child := n.children[n.childIndex(k)]
+		if child == nil {
+			n.lock.ReleaseSh(c, tok)
+			goto restart
+		}
+		if child.leaf {
+			wtok := child.lock.AcquireEx(c)
+			if !n.lock.ReleaseSh(c, tok) {
+				child.lock.ReleaseEx(c, wtok)
+				goto restart
+			}
+			if _, found := child.leafFind(k); found && child.count-1 < t.minKeys() {
+				// Removal would underflow the leaf: rebalance through
+				// the pessimistic SMO path instead.
+				child.lock.ReleaseEx(c, wtok)
+				return t.deletePessimistic(c, k)
+			}
+			ok := t.deleteLocked(child, wtok, k)
+			child.lock.ReleaseEx(c, wtok)
+			return ok
+		}
+		ctok, cok := child.lock.AcquireSh(c)
+		if !cok {
+			goto restart
+		}
+		if !n.lock.ReleaseSh(c, tok) {
+			child.lock.ReleaseSh(c, ctok)
+			goto restart
+		}
+		n, tok = child, ctok
+	}
+}
+
+func (t *Tree) deleteLocked(n *node, wtok locks.Token, k uint64) bool {
+	i, found := n.leafFind(k)
+	n.lock.CloseWindow(wtok)
+	if !found {
+		return false
+	}
+	copy(n.keys[i:n.count-1], n.keys[i+1:n.count])
+	copy(n.values[i:n.count-1], n.values[i+1:n.count])
+	n.count--
+	t.size.Add(-1)
+	return true
+}

@@ -1,0 +1,28 @@
+// Package core implements OptiQL, the optimistic queuing lock from
+// "OptiQL: Robust Optimistic Locking for Memory-Optimized Indexes"
+// (Shi, Yan, Wang; SIGMOD 2024), together with the queue-node pool it
+// depends on.
+//
+// OptiQL extends the classic MCS queue lock with optimistic read
+// capabilities. Writers form a FIFO queue and spin locally on their own
+// queue node, which keeps throughput stable under heavy contention and
+// guarantees fairness among writers. Readers never write to shared
+// memory: they snapshot the 8-byte lock word, run their critical
+// section, and validate that the word is unchanged — exactly like a
+// centralized optimistic lock. A third mechanism, opportunistic read,
+// re-admits readers during writer-to-writer lock handover, the window
+// in which the protected data is consistent but a pure queue lock would
+// appear permanently held.
+//
+// The lock state is a single 8-byte word:
+//
+//	bit 63        locked      — the lock is granted (or being granted) to a writer
+//	bit 62        opread      — opportunistic read window is open
+//	bits 52..61   queue-node ID of the most recent exclusive requester
+//	bits 0..51    version number used by optimistic readers for validation
+//
+// Storing a 10-bit queue-node ID instead of a 64-bit pointer is what
+// lets the word also carry a version number. Queue nodes therefore live
+// in a contiguous, pre-allocated Pool whose array index doubles as the
+// node ID (Section 6.3 of the paper).
+package core

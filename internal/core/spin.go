@@ -1,0 +1,43 @@
+package core
+
+import "runtime"
+
+// spinBudget is the number of busy iterations a waiter burns before it
+// starts yielding to the Go scheduler. On a machine with spare hardware
+// threads the busy phase keeps handover latency low; once the budget is
+// exhausted the waiter yields every iteration so that lock holders (and
+// the writer that will grant us the lock) can run even when goroutines
+// outnumber CPUs.
+const spinBudget = 64
+
+// Spinner implements bounded busy-waiting with scheduler cooperation.
+// The zero value is ready to use; call Spin in a wait loop.
+type Spinner struct {
+	n int
+}
+
+// Spin performs one wait iteration: a cheap busy pause while under
+// budget, a runtime.Gosched once the budget is exhausted.
+func (s *Spinner) Spin() {
+	if s.n < spinBudget {
+		s.n++
+		procPause()
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset restores the busy-spin budget, for reuse across waits.
+func (s *Spinner) Reset() { s.n = 0 }
+
+// procPause is a tiny delay standing in for the PAUSE instruction: a
+// few calls to a function the compiler is not allowed to inline (and
+// therefore cannot elide).
+func procPause() {
+	for i := 0; i < 4; i++ {
+		pause()
+	}
+}
+
+//go:noinline
+func pause() {}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keep each experiment to a fraction of a second.
+func tinyOptions(buf *strings.Builder) Options {
+	return Options{
+		Threads:   []int{1, 2},
+		Duration:  20 * time.Millisecond,
+		Runs:      1,
+		Records:   5000,
+		SimCycles: 50_000,
+		Out:       buf,
+	}
+}
+
+func TestEveryExperimentRunsAndPrints(t *testing.T) {
+	want := map[string]string{
+		"fig1":        "Figure 1",
+		"fig6":        "Figure 6",
+		"fig7":        "Figure 7",
+		"table1":      "Table 1",
+		"fig8":        "Figure 8",
+		"fig9":        "Figure 9",
+		"fig10":       "Figure 10",
+		"fig11":       "Figure 11",
+		"fig12":       "Figure 12",
+		"fig13":       "Figure 13",
+		"fairness":    "Fairness",
+		"simfig6":     "Figure 6 (simulated",
+		"simfig7":     "Figure 7 (simulated",
+		"simtable1":   "Table 1 (simulated",
+		"simfig8":     "Figure 8 (simulated",
+		"simfig9":     "Figure 9 (simulated",
+		"simfairness": "Fairness (simulated",
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fn, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf strings.Builder
+			if err := fn(tinyOptions(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, want[name]) {
+				t.Fatalf("output missing header %q:\n%s", want[name], out)
+			}
+			if !strings.Contains(out, "OptiQL") {
+				t.Fatalf("output has no OptiQL column:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if fn, err := ByName("all"); err != nil || fn == nil {
+		t.Fatal("all not resolvable")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	got, err := ParseThreads("1, 20,40")
+	if err != nil || len(got) != 3 || got[1] != 20 {
+		t.Fatalf("ParseThreads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "a", "1,,x"} {
+		if _, err := ParseThreads(bad); err == nil {
+			t.Fatalf("ParseThreads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.filled()
+	if len(o.Threads) == 0 || o.MaxThreads != o.Threads[len(o.Threads)-1] {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.Duration == 0 || o.Runs == 0 || o.Records == 0 || o.Out == nil {
+		t.Fatalf("defaults missing: %+v", o)
+	}
+}

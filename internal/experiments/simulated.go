@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"optiql/internal/sim"
+)
+
+// The sim* experiments regenerate the contention-sensitive figures on
+// the internal/sim multicore cache-coherence model instead of the host
+// CPU. They exist because the lock-level shapes of Figures 6-8 and
+// Table 1 are properties of parallel cacheline contention that a
+// machine with fewer cores than the paper's testbed cannot exhibit
+// natively (DESIGN.md, substitution table). Simulated results are
+// deterministic; throughput is reported in operations per thousand
+// simulated cycles.
+
+// simCell runs one simulated configuration and renders its throughput.
+func simCell(cfg sim.Config) (string, error) {
+	r, err := sim.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%.2f", r.Throughput()), nil
+}
+
+// simSchemes are the lock variants the simulator models.
+func simSchemes() []string {
+	return []string{"OptLock", "OptiQL-NOR", "OptiQL", "TTS", "MCS", "MCS-RW", "OptLock-Backoff"}
+}
+
+// simReaderSchemes are the variants with optimistic readers.
+func simReaderSchemes() []string {
+	return []string{"OptLock", "OptiQL-NOR", "OptiQL", "MCS-RW", "OptLock-Backoff"}
+}
+
+// SimFig6 regenerates Figure 6 (exclusive lock throughput by
+// contention level) on the simulated multicore.
+func SimFig6(o Options) error {
+	o = o.filled()
+	header(o.Out, "Figure 6 (simulated multicore): exclusive lock throughput",
+		"pure writers, CS=50; ops per 1000 simulated cycles, deterministic")
+	threads := []int{1, 10, 20, 40, 60, 80}
+	for _, level := range []struct {
+		name  string
+		locks int
+	}{{"extreme", 1}, {"high", 5}, {"medium", 30000}, {"low", 1000000}, {"none", 0}} {
+		fmt.Fprintf(o.Out, "-- %s contention (%d locks) --\n", level.name, level.locks)
+		tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "threads")
+		for _, s := range simSchemes() {
+			fmt.Fprintf(tw, "\t%s", s)
+		}
+		fmt.Fprintln(tw)
+		for _, th := range threads {
+			fmt.Fprintf(tw, "%d", th)
+			for _, scheme := range simSchemes() {
+				cell, err := simCell(sim.Config{Scheme: scheme, Threads: th, Locks: level.locks, Cycles: o.SimCycles})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%s", cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// SimFig7 regenerates Figure 7 (mixed read/write ratios) on the
+// simulated multicore at 80 threads.
+func SimFig7(o Options) error {
+	o = o.filled()
+	header(o.Out, "Figure 7 (simulated multicore): throughput by read/write ratio",
+		"80 threads; ops per 1000 simulated cycles")
+	ratios := []int{0, 20, 50, 80, 90}
+	for _, level := range []struct {
+		name  string
+		locks int
+	}{{"extreme", 1}, {"high", 5}, {"medium", 30000}, {"low", 1000000}} {
+		fmt.Fprintf(o.Out, "-- %s contention (%d locks) --\n", level.name, level.locks)
+		tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "read/write")
+		for _, s := range simReaderSchemes() {
+			fmt.Fprintf(tw, "\t%s", s)
+		}
+		fmt.Fprintln(tw)
+		for _, rp := range ratios {
+			fmt.Fprintf(tw, "%d/%d", rp, 100-rp)
+			for _, scheme := range simReaderSchemes() {
+				cell, err := simCell(sim.Config{
+					Scheme: scheme, Threads: 80, Locks: level.locks, ReadPct: rp,
+					Cycles: o.SimCycles,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%s", cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// SimTable1 regenerates Table 1 (reader success rate under high
+// contention) on the simulated multicore at 80 threads.
+func SimTable1(o Options) error {
+	o = o.filled()
+	header(o.Out, "Table 1 (simulated multicore): reader success rate, high contention",
+		"80 threads (split readers/writers), 5 locks")
+	ratios := []int{20, 50, 80, 90}
+	tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Lock")
+	for _, rp := range ratios {
+		fmt.Fprintf(tw, "\t%d%%/%d%%", rp, 100-rp)
+	}
+	fmt.Fprintln(tw)
+	for _, scheme := range []string{"OptiQL-NOR", "OptiQL"} {
+		fmt.Fprint(tw, scheme)
+		for _, rp := range ratios {
+			r, err := sim.Run(sim.Config{
+				Scheme: scheme, Threads: 80, Locks: 5, ReadPct: rp, Split: true,
+				Cycles: 2 * o.SimCycles,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%.2f%%", r.ReadSuccessRate()*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return nil
+}
+
+// SimFig8 regenerates Figure 8 (throughput vs critical-section length,
+// 80% reads) on the simulated multicore.
+func SimFig8(o Options) error {
+	o = o.filled()
+	header(o.Out, "Figure 8 (simulated multicore): throughput vs critical-section length",
+		"80% reads / 20% writes, 80 threads; ops per 1000 simulated cycles")
+	for _, level := range []struct {
+		name  string
+		locks int
+	}{{"low", 1000000}, {"high", 5}} {
+		fmt.Fprintf(o.Out, "-- %s contention --\n", level.name)
+		tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "CS length\tOptLock\tOptiQL-NOR\tOptiQL\n")
+		for _, cs := range []int{5, 50, 100, 150, 200} {
+			fmt.Fprintf(tw, "%d", cs)
+			for _, scheme := range []string{"OptLock", "OptiQL-NOR", "OptiQL"} {
+				cell, err := simCell(sim.Config{
+					Scheme: scheme, Threads: 80, Locks: level.locks,
+					ReadPct: 80, CSLen: cs, Cycles: o.SimCycles,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%s", cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// SimFairness regenerates the fairness extension on the simulated
+// multicore, where the Section 1.1 "lucky threads under backoff"
+// effect is visible deterministically.
+func SimFairness(o Options) error {
+	o = o.filled()
+	header(o.Out, "Fairness (simulated multicore): per-thread acquisition skew",
+		"pure writers, 1 lock, 40 threads; ratio = busiest/least-busy thread")
+	tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tops/kcycle\tfairness ratio")
+	for _, scheme := range simSchemes() {
+		r, err := sim.Run(sim.Config{Scheme: scheme, Threads: 40, Locks: 1, Cycles: 2 * o.SimCycles})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2fx\n", scheme, r.Throughput(), r.FairnessRatio())
+	}
+	tw.Flush()
+	return nil
+}
+
+// AllSimulated runs every simulator-backed experiment.
+func AllSimulated(o Options) error {
+	for _, fn := range []func(Options) error{SimFig6, SimFig7, SimTable1, SimFig8, SimFig9, SimFairness} {
+		if err := fn(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimFig9 regenerates the index-level robustness comparison of
+// Figures 1(b)/9 on the simulated multicore: a skewed workload over
+// 4096 leaf locks with per-retry re-traversal costs, so OLC
+// upgrade-retries (OptLock) waste descents while OptiQL queues on the
+// leaf after a single descent (Section 6.1's adapted protocol).
+func SimFig9(o Options) error {
+	o = o.filled()
+	header(o.Out, "Figure 9 (simulated multicore): skewed index workloads",
+		"self-similar 0.2 over 4096 leaves, traversal modelled per retry; ops per 1000 simulated cycles")
+	schemes := []string{"OptLock", "OptiQL-NOR", "OptiQL", "MCS-RW", "OptLock-Backoff"}
+	for _, mix := range []struct {
+		name    string
+		readPct int
+	}{{"read-heavy", 80}, {"balanced", 50}, {"write-heavy", 20}, {"update-only", 0}} {
+		fmt.Fprintf(o.Out, "-- %s --\n", mix.name)
+		tw := tabwriter.NewWriter(o.Out, 4, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "threads")
+		for _, s := range schemes {
+			fmt.Fprintf(tw, "\t%s", s)
+		}
+		fmt.Fprintln(tw)
+		for _, th := range []int{1, 10, 20, 40, 80} {
+			fmt.Fprintf(tw, "%d", th)
+			for _, scheme := range schemes {
+				cell, err := simCell(sim.Config{
+					Scheme: scheme, Threads: th, Locks: 4096, ReadPct: mix.readPct,
+					Index: true, Skew: 0.2, Cycles: o.SimCycles,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%s", cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package hist provides a fixed-footprint logarithmic histogram for
+// nanosecond latencies, supporting the percentile reporting of the
+// paper's tail-latency study (Figure 12: min, 50%, 90%, 99%, 99.9%,
+// 99.99%, 99.999%).
+//
+// Values are bucketed with a power-of-two mantissa scheme (16
+// sub-buckets per octave, <= 6.25% relative error), the same idea as
+// HdrHistogram at low resolution. Recording is allocation-free; one
+// histogram per worker is merged after the run.
+package hist
+
+import "math/bits"
+
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // per octave
+	octaves    = 64 - subBits
+	numBuckets = octaves * subBuckets
+)
+
+// Histogram counts values in logarithmic buckets. The zero value is an
+// empty histogram. It is not safe for concurrent use; give each worker
+// its own and Merge.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	min    uint64
+	max    uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1 // >= subBits
+	sub := (v >> (uint(msb) - subBits)) & (subBuckets - 1)
+	return (msb-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketUpper returns a representative (upper-ish bound) value for a
+// bucket index, the inverse of bucketOf up to bucket resolution.
+func bucketUpper(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	octave := idx/subBuckets - 1 + subBits
+	sub := uint64(idx % subBuckets)
+	base := uint64(1) << uint(octave)
+	return base | sub<<(uint(octave)-subBits) | (base>>subBits - 1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value (0 if empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile
+// (0 < p <= 100), with bucket resolution (<= 6.25% relative error).
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(p / 100 * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				return h.max
+			}
+			if u < h.min {
+				return h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Mean returns the approximate mean of the recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c != 0 {
+			sum += float64(bucketUpper(i)) * float64(c)
+		}
+	}
+	return sum / float64(h.total)
+}
+
+// StandardPercentiles are the columns of the paper's Figure 12.
+var StandardPercentiles = []float64{0, 50, 90, 99, 99.9, 99.99, 99.999}
+
+// PercentileLabels renders Figure 12's column headers.
+var PercentileLabels = []string{"min", "50%", "90%", "99%", "99.9%", "99.99%", "99.999%"}
+
+// Snapshot returns the values at StandardPercentiles (index 0 = min).
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, len(StandardPercentiles))
+	out[0] = h.min
+	for i := 1; i < len(StandardPercentiles); i++ {
+		out[i] = h.Percentile(StandardPercentiles[i])
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram stats not zero")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if h.Count() != 1 || h.Min() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	for _, p := range []float64{1, 50, 99, 99.999, 100} {
+		if v := h.Percentile(p); v != 1000 {
+			t.Fatalf("P%.3f = %d, want 1000 (single value)", p, v)
+		}
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 15 {
+		t.Fatal("min/max wrong for small values")
+	}
+	// Buckets below 16 are exact.
+	if got := h.Percentile(50); got != 7 && got != 8 {
+		t.Fatalf("P50 of 0..15 = %d", got)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	values := make([]uint64, 100000)
+	for i := range values {
+		v := uint64(rng.Intn(1_000_000)) + 1
+		values[i] = v
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := values[int(p/100*float64(len(values)))-1]
+		got := h.Percentile(p)
+		lo := float64(exact) * 0.9
+		hi := float64(exact) * 1.1
+		if float64(got) < lo || float64(got) > hi {
+			t.Fatalf("P%v = %d, exact %d (outside 10%%)", p, got, exact)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+	}
+	for v := uint64(1000); v <= 2000; v += 10 {
+		b.Record(v)
+	}
+	total := a.Count() + b.Count()
+	a.Merge(&b)
+	if a.Count() != total {
+		t.Fatalf("merged count = %d, want %d", a.Count(), total)
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != total {
+		t.Fatal("merging empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != total || empty.Min() != 1 {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if len(s) != len(StandardPercentiles) || len(s) != len(PercentileLabels) {
+		t.Fatal("snapshot length mismatch")
+	}
+	if s[0] != h.Min() {
+		t.Fatal("snapshot[0] is not min")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("snapshot not monotone: %v", s)
+		}
+	}
+}
+
+// Property: bucketUpper(bucketOf(v)) is within 6.25% above v (and never
+// below v's bucket floor).
+func TestBucketErrorBound(t *testing.T) {
+	f := func(v uint64) bool {
+		idx := bucketOf(v)
+		up := bucketUpper(idx)
+		if v < 16 {
+			return up == v
+		}
+		return up >= v-(v>>subBits) && float64(up) <= float64(v)*1.07
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Record(uint64(rng.Intn(1 << 30)))
+	}
+	prev := uint64(0)
+	for p := 1.0; p <= 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("P%v = %d < previous %d", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) * 2654435761 % (1 << 24))
+	}
+}

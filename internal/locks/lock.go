@@ -1,0 +1,155 @@
+// Package locks provides the lock primitives evaluated in the OptiQL
+// paper behind one uniform interface: the centralized optimistic lock
+// (OptLock), TTS and MCS exclusive locks, a fair queue-based
+// reader-writer lock (MCS-RW), a blocking reader-writer lock backed by
+// sync.RWMutex (the "pthread" variant), and the OptiQL variants
+// (default, NOR, AOR) built on internal/core.
+//
+// The interface mirrors the paper's API split: shared ("reader")
+// operations are optimistic try-style calls that never block on
+// optimistic locks, while exclusive ("writer") operations block until
+// granted and, for queue-based locks, consume a queue node from the
+// caller's Ctx.
+package locks
+
+import (
+	"sync/atomic"
+
+	"optiql/internal/core"
+)
+
+// ctxSeq seeds each Ctx's private RNG distinctly.
+var ctxSeq atomic.Uint64
+
+// Token carries per-acquisition state between an acquire and its
+// matching release: the version snapshot for optimistic readers, and
+// the queue node for queue-based locks. It is a value type; callers
+// keep it on the stack.
+type Token struct {
+	// Version is the lock-word snapshot for optimistic shared
+	// acquisitions, used for validation at ReleaseSh.
+	Version uint64
+	q       *core.QNode
+	rw      *rwNode
+	clh     *clhNode
+}
+
+// QNode returns the OptiQL queue node held by this token, if any.
+func (t Token) QNode() *core.QNode { return t.q }
+
+// Lock is the uniform lock interface used by the index substrates and
+// the microbenchmark framework.
+//
+// Optimistic locks implement AcquireSh/ReleaseSh as non-blocking
+// snapshot/validate pairs that may fail (ok=false), in which case the
+// caller restarts its operation. Pessimistic locks block in AcquireSh
+// and always succeed.
+type Lock interface {
+	// AcquireSh begins a shared (read) access. For optimistic locks it
+	// never writes shared memory and may return ok=false, meaning the
+	// caller must retry. For pessimistic locks it blocks until granted.
+	AcquireSh(c *Ctx) (Token, bool)
+	// ReleaseSh ends a shared access. For optimistic locks it validates
+	// the token's version and returns false if the protected data may
+	// have changed; for pessimistic locks it unlocks and returns true.
+	ReleaseSh(c *Ctx, t Token) bool
+	// AcquireEx blocks until the lock is granted exclusively.
+	AcquireEx(c *Ctx) Token
+	// ReleaseEx releases an exclusive acquisition.
+	ReleaseEx(c *Ctx, t Token)
+	// Upgrade attempts to convert a shared acquisition into an
+	// exclusive one without blocking. On success the token is updated
+	// for use with ReleaseEx. Locks that do not support upgrading
+	// return false.
+	Upgrade(c *Ctx, t *Token) bool
+	// CloseWindow closes the opportunistic read window on locks that
+	// defer closing it (the AOR variant); a no-op elsewhere. Callers
+	// invoke it after read-only preparation and before the first
+	// modification of the protected data.
+	CloseWindow(t Token)
+	// Pessimistic reports whether shared acquisitions block (and thus
+	// never fail validation).
+	Pessimistic() bool
+}
+
+// Ctx holds the per-thread resources lock operations draw from: OptiQL
+// queue nodes reserved from a core.Pool and locally allocated
+// reader-writer queue nodes. A Ctx must not be used concurrently;
+// create one per worker goroutine.
+type Ctx struct {
+	pool *core.Pool
+	q    []*core.QNode
+	rw   []*rwNode
+	rng  uint64
+}
+
+// Rand returns the next value of a per-thread xorshift64* generator,
+// used for cheap probabilistic decisions on lock-protected paths (such
+// as sampling the ART contention counter) without contending on a
+// shared RNG.
+func (c *Ctx) Rand() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// DefaultCtxQNodes is how many OptiQL queue nodes a Ctx reserves. Index
+// operations hold at most two queue-based locks at once (Section 6.1),
+// so a small fixed reserve suffices.
+const DefaultCtxQNodes = 8
+
+// NewCtx reserves nq queue nodes from pool (DefaultCtxQNodes if nq<=0)
+// for use by this thread's lock operations.
+func NewCtx(pool *core.Pool, nq int) *Ctx {
+	if nq <= 0 {
+		nq = DefaultCtxQNodes
+	}
+	c := &Ctx{pool: pool}
+	c.rng = uint64(ctxSeq.Add(1))*0x9E3779B97F4A7C15 | 1
+	c.q = make([]*core.QNode, 0, nq)
+	for i := 0; i < nq; i++ {
+		c.q = append(c.q, pool.Get())
+	}
+	c.rw = make([]*rwNode, 0, 16)
+	for i := 0; i < 16; i++ {
+		c.rw = append(c.rw, new(rwNode))
+	}
+	return c
+}
+
+// Close returns the reserved queue nodes to the pool. The Ctx must not
+// be used afterwards.
+func (c *Ctx) Close() {
+	for _, q := range c.q {
+		c.pool.Put(q)
+	}
+	c.q = nil
+	c.rw = nil
+}
+
+func (c *Ctx) getQ() *core.QNode {
+	n := len(c.q)
+	if n == 0 {
+		panic("locks: Ctx out of queue nodes; operation holds too many queue-based locks")
+	}
+	q := c.q[n-1]
+	c.q = c.q[:n-1]
+	return q
+}
+
+func (c *Ctx) putQ(q *core.QNode) { c.q = append(c.q, q) }
+
+func (c *Ctx) getRW() *rwNode {
+	n := len(c.rw)
+	if n == 0 {
+		panic("locks: Ctx out of reader-writer queue nodes")
+	}
+	r := c.rw[n-1]
+	c.rw = c.rw[:n-1]
+	return r
+}
+
+func (c *Ctx) putRW(r *rwNode) { c.rw = append(c.rw, r) }

@@ -1,0 +1,152 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"optiql/internal/core"
+)
+
+const (
+	classReader uint32 = iota
+	classWriter
+)
+
+// rwNode is the queue node shared by MCS and MCS-RW: successor link,
+// grant flag, and requester class, padded against false sharing.
+type rwNode struct {
+	next    atomic.Pointer[rwNode]
+	granted atomic.Uint32
+	class   uint32
+	_       [48]byte
+}
+
+func (n *rwNode) reset(class uint32) {
+	n.next.Store(nil)
+	n.granted.Store(0)
+	n.class = class
+}
+
+// MCSRW is a fair, queue-based reader-writer lock in the spirit of
+// Mellor-Crummey & Scott's fair RW lock [39]: readers and writers join
+// a single FIFO queue and spin locally; a maximal run of consecutive
+// readers (a "group") holds the lock together, and the group's tail
+// node hands the lock to the next writer once every reader in the
+// group has finished.
+//
+// It preserves the properties the paper evaluates MCS-RW for — strict
+// FIFO fairness, local spinning (robustness under contention), and the
+// cost that readers must write to shared memory — while using a design
+// simple enough to verify. The queue tail is one 8-byte word; the
+// active-reader count and group tail are two adjacent words (see
+// DESIGN.md for the deviation from the paper's single-word encoding).
+type MCSRW struct {
+	tail      atomic.Pointer[rwNode]
+	readers   atomic.Int64
+	groupTail atomic.Pointer[rwNode]
+}
+
+// AcquireSh blocks until this reader's group holds the lock. Unlike
+// optimistic locks this writes shared memory (swap + counter), which is
+// exactly the overhead the paper attributes to pessimistic readers.
+func (l *MCSRW) AcquireSh(c *Ctx) (Token, bool) {
+	n := c.getRW()
+	n.reset(classReader)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		// Lock fully free: start a new group of one.
+		l.readers.Add(1)
+		l.groupTail.Store(n)
+		n.granted.Store(1)
+	} else {
+		prev.next.Store(n)
+		var s core.Spinner
+		for n.granted.Load() == 0 {
+			s.Spin()
+		}
+	}
+	// We are the group tail at the instant of our grant. Extend the
+	// group by one if a reader is already queued behind us; the
+	// extension then cascades from that reader's own acquire path.
+	if nx := n.next.Load(); nx != nil && nx.class == classReader {
+		l.readers.Add(1)
+		l.groupTail.Store(nx)
+		nx.granted.Store(1)
+	}
+	return Token{rw: n}, true
+}
+
+// ReleaseSh ends a shared acquisition. The group-tail reader waits for
+// its whole group to drain and then performs the structural handover.
+func (l *MCSRW) ReleaseSh(c *Ctx, t Token) bool {
+	n := t.rw
+	if l.groupTail.Load() != n {
+		// Not the group closer: our successor (if any) was already
+		// granted, so nothing references this node anymore.
+		l.readers.Add(-1)
+		c.putRW(n)
+		return true
+	}
+	// Group closer: wait until every reader in the group (including
+	// ourselves) has decremented, then hand over.
+	l.readers.Add(-1)
+	var s core.Spinner
+	for l.readers.Load() != 0 {
+		s.Spin()
+	}
+	l.structuralRelease(n)
+	c.putRW(n)
+	return true
+}
+
+// AcquireEx blocks until the lock is granted exclusively, in FIFO
+// order with respect to all other requesters.
+func (l *MCSRW) AcquireEx(c *Ctx) Token {
+	n := c.getRW()
+	n.reset(classWriter)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		n.granted.Store(1)
+	} else {
+		prev.next.Store(n)
+		var s core.Spinner
+		for n.granted.Load() == 0 {
+			s.Spin()
+		}
+	}
+	return Token{rw: n}
+}
+
+// ReleaseEx hands the lock to the successor (starting a new reader
+// group if the successor reads), or resets the tail.
+func (l *MCSRW) ReleaseEx(c *Ctx, t Token) {
+	l.structuralRelease(t.rw)
+	c.putRW(t.rw)
+}
+
+// structuralRelease performs the MCS-style queue handover from node n,
+// which must be the last node of the finishing group (or the writer).
+func (l *MCSRW) structuralRelease(n *rwNode) {
+	if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
+		return
+	}
+	var s core.Spinner
+	for n.next.Load() == nil {
+		s.Spin()
+	}
+	nx := n.next.Load()
+	if nx.class == classReader {
+		l.readers.Add(1)
+		l.groupTail.Store(nx)
+	}
+	nx.granted.Store(1)
+}
+
+// Upgrade is unsupported: pessimistic index protocols take the
+// exclusive lock directly.
+func (l *MCSRW) Upgrade(_ *Ctx, _ *Token) bool { return false }
+
+// CloseWindow is a no-op.
+func (l *MCSRW) CloseWindow(Token) {}
+
+// Pessimistic reports true: readers block and never fail validation.
+func (l *MCSRW) Pessimistic() bool { return true }

@@ -1,0 +1,108 @@
+package locks
+
+import "optiql/internal/core"
+
+// orMode selects how an OptiQLLock drives the opportunistic read
+// window, covering the three variants evaluated in the paper.
+type orMode uint8
+
+const (
+	// orOn is standard OptiQL: the window opens at writer-to-writer
+	// handover and the incoming writer closes it as it is granted.
+	orOn orMode = iota
+	// orOff is OptiQL-NOR: the window never opens; readers succeed only
+	// while the writer queue is completely empty.
+	orOff
+	// orAdjustable is OptiQL-AOR: the incoming writer leaves the window
+	// open and the caller closes it (CloseWindow) just before its first
+	// modification, admitting more readers during read-only preparation
+	// such as the leaf search in a B+-tree update.
+	orAdjustable
+)
+
+// OptiQLLock adapts core.OptiQL to the uniform Lock interface. Use
+// NewOptiQL, NewOptiQLNOR or NewOptiQLAOR to pick the variant.
+type OptiQLLock struct {
+	l    core.OptiQL
+	mode orMode
+}
+
+// NewOptiQL returns a standard OptiQL lock (opportunistic read on).
+func NewOptiQL() *OptiQLLock { return &OptiQLLock{mode: orOn} }
+
+// NewOptiQLNOR returns the no-opportunistic-read variant.
+func NewOptiQLNOR() *OptiQLLock { return &OptiQLLock{mode: orOff} }
+
+// NewOptiQLAOR returns the adjustable-opportunistic-read variant; the
+// caller must invoke CloseWindow between AcquireEx and the first write
+// to the protected data.
+func NewOptiQLAOR() *OptiQLLock { return &OptiQLLock{mode: orAdjustable} }
+
+// Core exposes the underlying core lock (diagnostics and tests).
+func (l *OptiQLLock) Core() *core.OptiQL { return &l.l }
+
+// AcquireSh begins an optimistic read: one load, no shared-memory
+// writes, regardless of variant.
+func (l *OptiQLLock) AcquireSh(_ *Ctx) (Token, bool) {
+	v, ok := l.l.AcquireSh()
+	return Token{Version: v}, ok
+}
+
+// ReleaseSh validates the optimistic read.
+func (l *OptiQLLock) ReleaseSh(_ *Ctx, t Token) bool {
+	return l.l.ReleaseSh(t.Version)
+}
+
+// AcquireEx joins the writer queue with a queue node drawn from the
+// Ctx and blocks until granted.
+func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
+	q := c.getQ()
+	if l.mode == orAdjustable {
+		l.l.AcquireExAOR(q)
+	} else {
+		l.l.AcquireEx(q)
+	}
+	return Token{q: q}
+}
+
+// ReleaseEx releases the exclusive hold, opening the opportunistic
+// window for the successor unless the variant is NOR.
+func (l *OptiQLLock) ReleaseEx(c *Ctx, t Token) {
+	if l.mode == orAdjustable {
+		// The release protocol requires the window to be closed; make
+		// that unconditional (idempotent) rather than deadlock if a
+		// caller path skipped CloseWindow.
+		l.l.CloseWindow()
+	}
+	if l.mode == orOff {
+		l.l.ReleaseExNoOR(t.q)
+	} else {
+		l.l.ReleaseEx(t.q)
+	}
+	c.putQ(t.q)
+}
+
+// Upgrade converts a validated optimistic read into an exclusive hold
+// while keeping the queueing behaviour for subsequent writers
+// (Section 6.2, added for ART).
+func (l *OptiQLLock) Upgrade(c *Ctx, t *Token) bool {
+	q := c.getQ()
+	if !l.l.Upgrade(t.Version, q) {
+		c.putQ(q)
+		return false
+	}
+	t.q = q
+	return true
+}
+
+// CloseWindow closes the deferred opportunistic window of the AOR
+// variant; a no-op for the others (their window is already closed by
+// the time AcquireEx returns).
+func (l *OptiQLLock) CloseWindow(Token) {
+	if l.mode == orAdjustable {
+		l.l.CloseWindow()
+	}
+}
+
+// Pessimistic reports false: readers are optimistic.
+func (l *OptiQLLock) Pessimistic() bool { return false }

@@ -1,0 +1,74 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"optiql/internal/core"
+)
+
+// optLockedBit is the most significant bit of the OptLock word, exactly
+// as in Figure 2(b) of the paper.
+const optLockedBit = uint64(1) << 63
+
+// OptLock is the centralized optimistic lock used by BTreeOLC, ART and
+// other memory-optimized indexes: a TTS-style spinlock whose 8-byte
+// word also carries a version counter incremented on every release.
+// Readers snapshot the word and validate it; writers CAS the locked bit
+// and retry centrally — the behaviour that collapses under contention
+// and that OptiQL is designed to fix.
+//
+// The zero value is an unlocked lock at version zero.
+type OptLock struct {
+	word atomic.Uint64
+}
+
+// Word returns the raw lock word (diagnostics and tests).
+func (l *OptLock) Word() uint64 { return l.word.Load() }
+
+// AcquireSh snapshots the word; the read may proceed iff the locked bit
+// is clear.
+func (l *OptLock) AcquireSh(_ *Ctx) (Token, bool) {
+	v := l.word.Load()
+	return Token{Version: v}, v&optLockedBit == 0
+}
+
+// ReleaseSh validates that the word is unchanged since AcquireSh.
+func (l *OptLock) ReleaseSh(_ *Ctx, t Token) bool {
+	return l.word.Load() == t.Version
+}
+
+// AcquireEx spins until it CASes the locked bit on, TTS style: it only
+// attempts the CAS after observing an unlocked word, but under
+// contention many threads still retry the CAS on the same cacheline.
+func (l *OptLock) AcquireEx(_ *Ctx) Token {
+	var s core.Spinner
+	for {
+		v := l.word.Load()
+		if v&optLockedBit == 0 && l.word.CompareAndSwap(v, v|optLockedBit) {
+			return Token{Version: v}
+		}
+		s.Spin()
+	}
+}
+
+// ReleaseEx increments the version and clears the locked bit in one
+// plain store (the holder is the only writer).
+func (l *OptLock) ReleaseEx(_ *Ctx, _ Token) {
+	l.word.Store((l.word.Load() + 1) &^ optLockedBit)
+}
+
+// Upgrade converts a validated read into an exclusive hold by CASing
+// from the snapshot to the locked word, the standard OLC "upgrade".
+func (l *OptLock) Upgrade(_ *Ctx, t *Token) bool {
+	if t.Version&optLockedBit != 0 {
+		return false
+	}
+	return l.word.CompareAndSwap(t.Version, t.Version|optLockedBit)
+}
+
+// CloseWindow is a no-op: centralized optimistic locks have no
+// opportunistic read window.
+func (l *OptLock) CloseWindow(Token) {}
+
+// Pessimistic reports false: readers validate instead of blocking.
+func (l *OptLock) Pessimistic() bool { return false }

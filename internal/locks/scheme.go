@@ -1,0 +1,115 @@
+package locks
+
+import "fmt"
+
+// Scheme describes a locking scheme an index or benchmark can be
+// instantiated with: how to create node locks and which capabilities
+// the scheme has. NewInner/NewLeaf let a scheme use different lock
+// types at different levels of a B+-tree — the paper's OptiQL scheme
+// keeps centralized optimistic locks on inner nodes and OptiQL on
+// leaves (Section 6.1).
+type Scheme struct {
+	// Name is the identifier used by benchmark flags and output rows
+	// (matching the paper's legend: OptLock, OptiQL, OptiQL-NOR, ...).
+	Name string
+	// Optimistic reports whether shared acquisitions are optimistic
+	// (may fail validation) rather than blocking.
+	Optimistic bool
+	// SharedMode reports whether the scheme supports readers at all
+	// (TTS and MCS do not).
+	SharedMode bool
+	// QueueWriters reports whether exclusive requesters queue and spin
+	// locally (the OptiQL variants). Index protocols use this to decide
+	// when blocking directly on the lock is profitable (Section 6.2).
+	QueueWriters bool
+	// NewLock creates a lock for uniform use (microbenchmarks, ART).
+	NewLock func() Lock
+	// NewInner creates a lock for a B+-tree inner node.
+	NewInner func() Lock
+	// NewLeaf creates a lock for a B+-tree leaf node.
+	NewLeaf func() Lock
+}
+
+// AOR reports whether this scheme defers closing the opportunistic
+// read window to the caller.
+func (s *Scheme) AOR() bool { return s.Name == "OptiQL-AOR" }
+
+func optiqlScheme(name string, newLeaf func() Lock) *Scheme {
+	return &Scheme{
+		Name:         name,
+		Optimistic:   true,
+		SharedMode:   true,
+		QueueWriters: true,
+		NewLock:      newLeaf,
+		// B+-tree inner nodes keep the centralized optimistic lock:
+		// they see little contention and avoid the queue-lock release
+		// CAS (Section 6.1).
+		NewInner: func() Lock { return new(OptLock) },
+		NewLeaf:  newLeaf,
+	}
+}
+
+func uniformScheme(name string, optimistic, shared bool, newLock func() Lock) *Scheme {
+	return &Scheme{
+		Name:       name,
+		Optimistic: optimistic,
+		SharedMode: shared,
+		NewLock:    newLock,
+		NewInner:   newLock,
+		NewLeaf:    newLock,
+	}
+}
+
+// Registry of every lock variant evaluated in the paper (Section 7.1).
+var schemes = map[string]*Scheme{
+	"OptLock":    uniformScheme("OptLock", true, true, func() Lock { return new(OptLock) }),
+	"OptiQL":     optiqlScheme("OptiQL", func() Lock { return NewOptiQL() }),
+	"OptiQL-NOR": optiqlScheme("OptiQL-NOR", func() Lock { return NewOptiQLNOR() }),
+	"OptiQL-AOR": optiqlScheme("OptiQL-AOR", func() Lock { return NewOptiQLAOR() }),
+	"pthread":    uniformScheme("pthread", false, true, func() Lock { return new(Pthread) }),
+	"MCS-RW":     uniformScheme("MCS-RW", false, true, func() Lock { return new(MCSRW) }),
+	"TTS":        uniformScheme("TTS", false, false, func() Lock { return new(TTS) }),
+	"MCS":        uniformScheme("MCS", false, false, func() Lock { return new(MCS) }),
+	// Extensions beyond the paper's Figure 6 lineup: the backoff
+	// mitigation discussed in Section 1.1 and the CLH queue lock from
+	// the related work.
+	"OptLock-Backoff": uniformScheme("OptLock-Backoff", true, true, func() Lock { return new(OptLockBackoff) }),
+	"CLH":             uniformScheme("CLH", false, false, func() Lock { return new(CLH) }),
+}
+
+// ByName looks up a scheme by its paper name.
+func ByName(name string) (*Scheme, error) {
+	s, ok := schemes[name]
+	if !ok {
+		return nil, fmt.Errorf("locks: unknown scheme %q", name)
+	}
+	return s, nil
+}
+
+// MustByName is ByName for static configuration; it panics on unknown
+// names.
+func MustByName(name string) *Scheme {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AllNames returns the scheme names in the order the paper's figures
+// list them.
+func AllNames() []string {
+	return []string{"OptLock", "OptiQL-NOR", "OptiQL", "OptiQL-AOR", "pthread", "MCS-RW", "TTS", "MCS"}
+}
+
+// ExtendedNames returns AllNames plus the extension schemes (backoff
+// and CLH) evaluated by the fairness ablation.
+func ExtendedNames() []string {
+	return append(AllNames(), "OptLock-Backoff", "CLH")
+}
+
+// ReaderCapableNames returns the schemes that support shared mode, in
+// figure order (used by the mixed-workload experiments).
+func ReaderCapableNames() []string {
+	return []string{"OptLock", "OptiQL-NOR", "OptiQL", "pthread", "MCS-RW"}
+}

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// phase is a simulated thread's protocol program counter.
+type phase uint8
+
+const (
+	phIdle      phase = iota // pick the next operation
+	phWTry                   // writer: read the word (centralized) / XCHG (queued)
+	phWCAS                   // centralized writer: attempt the CAS seen-free
+	phWGranted               // queued writer: woken by handover
+	phWRelease               // writer: release protocol
+	phRTry                   // reader: snapshot the word
+	phRValidate              // reader: validate after the read body
+)
+
+type thread struct {
+	id        int
+	ph        phase
+	reader    bool // split-mode dedicated reader
+	lockIdx   int
+	snapshot  uint64
+	backoff   uint64
+	rng       uint64
+	qnodeLine *line
+
+	ops, reads, writes, attempts uint64
+}
+
+func (t *thread) rand() uint64 {
+	x := t.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// event heap: (time, seq for determinism, thread).
+type event struct {
+	at  uint64
+	seq uint64
+	tid int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type engine struct {
+	cfg     Config
+	locks   []*simLock
+	threads []thread
+	heap    eventHeap
+	seq     uint64
+	now     uint64
+
+	// epochs[i] counts modifications of lock i's word; it is what
+	// reader snapshots validate against (bit-identical word check).
+	epochs []uint64
+
+	queued bool // MCS / OptiQL family
+	optiql bool // OptiQL / OptiQL-NOR (word-carried window + versions)
+	window bool // opportunistic read enabled (OptiQL, not NOR)
+
+	// skewExp is the self-similar exponent when cfg.Skew > 0.
+	skewExp float64
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	nLocks := cfg.Locks
+	perThread := nLocks == 0
+	if perThread {
+		nLocks = cfg.Threads
+	}
+	e := &engine{cfg: cfg}
+	e.queued = cfg.Scheme == "MCS" || cfg.Scheme == "OptiQL" || cfg.Scheme == "OptiQL-NOR"
+	e.optiql = cfg.Scheme == "OptiQL" || cfg.Scheme == "OptiQL-NOR"
+	e.window = cfg.Scheme == "OptiQL"
+	if cfg.Skew > 0 {
+		e.skewExp = math.Log(cfg.Skew) / math.Log(1-cfg.Skew)
+	}
+	e.locks = make([]*simLock, nLocks)
+	e.epochs = make([]uint64, nLocks)
+	for i := range e.locks {
+		e.locks[i] = newSimLock()
+	}
+	e.threads = make([]thread, cfg.Threads)
+	for i := range e.threads {
+		t := &e.threads[i]
+		t.id = i
+		t.rng = cfg.Seed*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+		if t.rng == 0 {
+			t.rng = 1
+		}
+		t.qnodeLine = newLine()
+		t.qnodeLine.excl = i // starts cached locally
+		t.reader = cfg.Split && i < cfg.Threads*cfg.ReadPct/100
+		if perThread {
+			t.lockIdx = i
+		}
+		e.schedule(i, 0)
+	}
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		if ev.at >= cfg.Cycles {
+			continue
+		}
+		e.now = ev.at
+		e.step(&e.threads[ev.tid])
+	}
+	res := Result{Config: cfg, Cycles: cfg.Cycles}
+	for i := range e.threads {
+		t := &e.threads[i]
+		res.Ops += t.ops
+		res.Writes += t.writes
+		res.Reads += t.reads
+		res.ReadAttempts += t.attempts
+		res.PerThreadOps = append(res.PerThreadOps, t.ops)
+	}
+	return res, nil
+}
+
+func (e *engine) schedule(tid int, at uint64) {
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, tid: tid})
+}
+
+// wakeWatchers reschedules every thread blocked on the word line.
+func (e *engine) wakeWatchers(l *simLock) {
+	for _, tid := range l.wordLine.watchers {
+		e.schedule(tid, e.now+1)
+	}
+	l.wordLine.watchers = l.wordLine.watchers[:0]
+}
+
+// touchWord records a modification of the lock word: epoch bump (for
+// reader validation) and watcher wakeup (their cached copies are
+// invalid).
+func (e *engine) touchWord(idx int) {
+	e.epochs[idx]++
+	e.wakeWatchers(e.locks[idx])
+}
+
+// step advances one thread by one protocol action.
+func (e *engine) step(t *thread) {
+	if e.rwStep(t) {
+		return
+	}
+	switch t.ph {
+	case phIdle:
+		e.pickOp(t)
+	case phWTry:
+		e.writerTry(t)
+	case phWCAS:
+		e.writerCAS(t)
+	case phWGranted:
+		e.writerGranted(t)
+	case phWRelease:
+		e.writerRelease(t)
+	case phRTry:
+		e.readerTry(t)
+	case phRValidate:
+		e.readerValidate(t)
+	}
+}
+
+func (e *engine) pickOp(t *thread) {
+	if e.cfg.Locks != 0 {
+		if e.skewExp != 0 {
+			u := float64(t.rand()>>11) / (1 << 53)
+			idx := int(float64(len(e.locks)) * math.Pow(u, e.skewExp))
+			if idx >= len(e.locks) {
+				idx = len(e.locks) - 1
+			}
+			t.lockIdx = idx
+		} else {
+			t.lockIdx = int(t.rand() % uint64(len(e.locks)))
+		}
+	}
+	isRead := int(t.rand()%100) < e.cfg.ReadPct
+	if e.cfg.Split {
+		isRead = t.reader
+	}
+	t.backoff = backoffMinCyc
+	switch {
+	case isRead && e.isMCSRW():
+		t.ph = phRWShAcq
+	case isRead:
+		t.ph = phRTry
+	default:
+		t.ph = phWTry
+	}
+	e.schedule(t.id, e.now+1+e.cfg.TraverseCycles)
+}
+
+// --- writer side -----------------------------------------------------
+
+func (e *engine) writerTry(t *thread) {
+	if e.isMCSRW() {
+		e.rwWriterAcquire(t)
+		return
+	}
+	l := e.locks[t.lockIdx]
+	if e.queued {
+		// XCHG: join the queue in one atomic on the word. This also
+		// clears the opportunistic-read bit if it was set.
+		cost := l.wordLine.rmw(t.id)
+		l.window = false
+		e.touchWord(t.lockIdx)
+		if l.holder == -1 && len(l.queue) == 0 {
+			l.holder = t.id
+			l.locked = true
+			e.enterCS(t, l, cost)
+			return
+		}
+		// Link behind the predecessor: one store to its private qnode
+		// line, then spin locally (blocked until granted).
+		pred := l.holder
+		if n := len(l.queue); n > 0 {
+			pred = l.queue[n-1]
+		}
+		cost += e.threads[pred].qnodeLine.rmw(t.id)
+		_ = cost // the wait ends at the grant, not at link completion
+		l.queue = append(l.queue, t.id)
+		return // blocked; the releasing holder schedules us
+	}
+	// Centralized: test (read), then test-and-set (CAS) if seen free.
+	cost := l.wordLine.read(t.id)
+	if l.locked {
+		if e.cfg.Index {
+			// OLC updater: the upgrade failed, so restart the whole
+			// operation — re-traverse from the root, then retry.
+			e.schedule(t.id, e.now+cost+e.cfg.TraverseCycles)
+			return
+		}
+		if e.cfg.Scheme == "OptLock-Backoff" {
+			// Back off instead of camping on the line.
+			delay := t.rand() % t.backoff
+			if t.backoff < backoffMaxCyc {
+				t.backoff <<= 1
+			}
+			e.schedule(t.id, e.now+cost+delay)
+			return
+		}
+		// Spin on the shared copy: free until invalidated.
+		l.wordLine.watchers = append(l.wordLine.watchers, t.id)
+		return
+	}
+	t.ph = phWCAS
+	e.schedule(t.id, e.now+cost)
+}
+
+func (e *engine) writerCAS(t *thread) {
+	l := e.locks[t.lockIdx]
+	// The CAS pulls the line exclusive whether it succeeds or not —
+	// this is the coherence storm that collapses centralized locks.
+	cost := l.wordLine.rmw(t.id)
+	if l.locked {
+		// Lost the race: retry from the test phase (re-traversing
+		// first in index mode — the OLC restart).
+		t.ph = phWTry
+		e.schedule(t.id, e.now+cost+e.cfg.TraverseCycles)
+		return
+	}
+	l.locked = true
+	l.holder = t.id
+	e.touchWord(t.lockIdx)
+	e.enterCS(t, l, cost)
+}
+
+// enterCS charges the critical-section body and schedules the release.
+func (e *engine) enterCS(t *thread, l *simLock, cost uint64) {
+	cost += l.dataLine.rmw(t.id)
+	cost += uint64(e.cfg.CSLen) * costCSCycle
+	t.ph = phWRelease
+	e.schedule(t.id, e.now+cost)
+}
+
+func (e *engine) writerGranted(t *thread) {
+	l := e.locks[t.lockIdx]
+	var cost uint64 = costRemoteMiss // read the grant from the predecessor's line
+	if e.optiql {
+		// FETCH_AND: close the opportunistic window, clear version bits.
+		cost += l.wordLine.rmw(t.id)
+		l.window = false
+		e.touchWord(t.lockIdx)
+	}
+	e.enterCS(t, l, cost)
+}
+
+func (e *engine) writerRelease(t *thread) {
+	if e.isMCSRW() {
+		e.rwWriterRelease(t)
+		return
+	}
+	l := e.locks[t.lockIdx]
+	var cost uint64
+	if !e.queued {
+		// Store the new version with the lock bit clear.
+		cost = l.wordLine.rmw(t.id)
+		l.locked = false
+		l.holder = -1
+		l.version++
+		e.touchWord(t.lockIdx)
+	} else if len(l.queue) == 0 {
+		// CAS the word back to unlocked-with-version.
+		cost = l.wordLine.rmw(t.id)
+		l.locked = false
+		l.holder = -1
+		l.version++
+		e.touchWord(t.lockIdx)
+	} else {
+		if e.window {
+			// FETCH_OR: open the opportunistic read window.
+			cost = l.wordLine.rmw(t.id)
+			l.window = true
+			l.version++
+			e.touchWord(t.lockIdx)
+		} else {
+			l.version++
+		}
+		// Hand over: write the successor's private line; it wakes
+		// after the transfer latency.
+		succ := l.queue[0]
+		l.queue = l.queue[1:]
+		l.holder = succ
+		cost += e.threads[succ].qnodeLine.rmw(t.id)
+		e.threads[succ].ph = phWGranted
+		e.schedule(succ, e.now+cost+costRemoteMiss)
+	}
+	t.writes++
+	t.ops++
+	t.ph = phIdle
+	e.schedule(t.id, e.now+cost)
+}
+
+// --- reader side ------------------------------------------------------
+
+func (e *engine) readerTry(t *thread) {
+	l := e.locks[t.lockIdx]
+	t.attempts++
+	cost := l.wordLine.read(t.id)
+	if l.locked && !l.window {
+		if e.cfg.Index {
+			// OLC lookup restart: re-traverse, then try again.
+			e.schedule(t.id, e.now+cost+e.cfg.TraverseCycles)
+			return
+		}
+		// Not admitted: spin on the shared copy until it changes.
+		l.wordLine.watchers = append(l.wordLine.watchers, t.id)
+		return
+	}
+	t.snapshot = e.epochs[t.lockIdx]
+	cost += l.dataLine.read(t.id)
+	cost += uint64(e.cfg.CSLen) * costCSCycle
+	t.ph = phRValidate
+	e.schedule(t.id, e.now+cost)
+}
+
+func (e *engine) readerValidate(t *thread) {
+	l := e.locks[t.lockIdx]
+	cost := l.wordLine.read(t.id)
+	if e.epochs[t.lockIdx] == t.snapshot {
+		t.reads++
+		t.ops++
+		t.ph = phIdle
+	} else {
+		t.ph = phRTry
+		cost += e.cfg.TraverseCycles // OLC restart re-descends (index mode; 0 otherwise)
+	}
+	e.schedule(t.id, e.now+cost)
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// TestIndexModeFig9Shape asserts the index-level robustness result
+// (Figures 1b/9): under a skewed update-only workload over many
+// leaves, OptLock loses throughput as threads grow (upgrade-retry
+// re-traversals) while OptiQL plateaus; and with a balanced mix the
+// opportunistic window keeps OptiQL ahead of OptiQL-NOR.
+func TestIndexModeFig9Shape(t *testing.T) {
+	run := func(scheme string, threads, readPct int) Result {
+		return mustRun(t, Config{
+			Scheme: scheme, Threads: threads, Locks: 4096, ReadPct: readPct,
+			Index: true, Skew: 0.2, Cycles: 4_000_000,
+		})
+	}
+	// Update-only: collapse vs plateau.
+	ol1, ol80 := run("OptLock", 1, 0).Throughput(), run("OptLock", 80, 0).Throughput()
+	oq8, oq80 := run("OptiQL", 8, 0).Throughput(), run("OptiQL", 80, 0).Throughput()
+	t.Logf("update-only: OptLock 1thr=%.2f 80thr=%.2f; OptiQL 8thr=%.2f 80thr=%.2f",
+		ol1, ol80, oq8, oq80)
+	if oq80 < oq8/2 {
+		t.Errorf("OptiQL collapsed at index level: %.2f -> %.2f", oq8, oq80)
+	}
+	if oq80 < ol80 {
+		t.Errorf("OptiQL (%.2f) below OptLock (%.2f) at 80 threads under skew", oq80, ol80)
+	}
+	// Balanced: opportunistic read pays at the index level.
+	or := run("OptiQL", 80, 50)
+	nor := run("OptiQL-NOR", 80, 50)
+	t.Logf("balanced 80thr: OptiQL %.2f vs OptiQL-NOR %.2f ops/kcyc", or.Throughput(), nor.Throughput())
+	if or.Throughput() <= nor.Throughput() {
+		t.Errorf("opportunistic read did not help balanced index workload: %.2f vs %.2f",
+			or.Throughput(), nor.Throughput())
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+// Simulated MCS-RW: the fair queue-based reader-writer lock. Readers
+// and writers join one FIFO queue; a maximal run of consecutive
+// readers holds the lock together. Unlike the optimistic schemes,
+// readers must RMW the lock word to enter and leave (the reader-count
+// update), which is exactly the cost the paper blames for MCS-RW's
+// poor read-side scaling; in exchange reads never fail validation.
+
+// rwWaiter is a queued requester.
+type rwWaiter struct {
+	tid    int
+	reader bool
+}
+
+// Additional per-lock state lives on simLock (activeReaders,
+// writerActive, rwQueue); the phases below extend the engine.
+
+const (
+	phRWShAcq  phase = 100 + iota // reader: RMW the word to enter
+	phRWShBody                    // reader: woken by grant; run the read body
+	phRWShRel                     // reader: RMW the word to leave
+)
+
+func (e *engine) isMCSRW() bool { return e.cfg.Scheme == "MCS-RW" }
+
+// rwStep dispatches the MCS-RW-specific phases; returns false if the
+// phase is not one of them.
+func (e *engine) rwStep(t *thread) bool {
+	switch t.ph {
+	case phRWShAcq:
+		e.rwReaderAcquire(t)
+	case phRWShBody:
+		e.rwReaderBody(t, costRemoteMiss) // grant read from granter's line
+	case phRWShRel:
+		e.rwReaderRelease(t)
+	default:
+		return false
+	}
+	return true
+}
+
+func (e *engine) rwReaderAcquire(t *thread) {
+	l := e.locks[t.lockIdx]
+	t.attempts++
+	cost := l.wordLine.rmw(t.id) // swap/inc on the word: readers write shared memory
+	if !l.writerActive && len(l.rwQueue) == 0 {
+		l.activeReaders++
+		e.rwReaderBodyAt(t, cost)
+		return
+	}
+	// Queue behind the current holder group; link to the predecessor's
+	// private line, then spin locally.
+	cost += e.predQnodeLink(l, t)
+	l.rwQueue = append(l.rwQueue, rwWaiter{tid: t.id, reader: true})
+	_ = cost
+}
+
+// predQnodeLink charges the store that links a waiter behind the
+// queue's current tail.
+func (e *engine) predQnodeLink(l *simLock, t *thread) uint64 {
+	pred := l.holder
+	if n := len(l.rwQueue); n > 0 {
+		pred = l.rwQueue[n-1].tid
+	}
+	if pred < 0 {
+		return 0
+	}
+	return e.threads[pred].qnodeLine.rmw(t.id)
+}
+
+func (e *engine) rwReaderBody(t *thread, lead uint64) {
+	e.rwReaderBodyAt(t, lead)
+}
+
+func (e *engine) rwReaderBodyAt(t *thread, lead uint64) {
+	l := e.locks[t.lockIdx]
+	cost := lead + l.dataLine.read(t.id) + uint64(e.cfg.CSLen)*costCSCycle
+	t.ph = phRWShRel
+	e.schedule(t.id, e.now+cost)
+}
+
+func (e *engine) rwReaderRelease(t *thread) {
+	l := e.locks[t.lockIdx]
+	cost := l.wordLine.rmw(t.id) // reader-count decrement
+	l.activeReaders--
+	if l.activeReaders == 0 {
+		cost += e.rwGrantNext(l)
+	}
+	t.reads++
+	t.ops++
+	t.ph = phIdle
+	e.schedule(t.id, e.now+cost)
+}
+
+// rwWriterAcquire is called from writerTry when the scheme is MCS-RW.
+func (e *engine) rwWriterAcquire(t *thread) {
+	l := e.locks[t.lockIdx]
+	cost := l.wordLine.rmw(t.id)
+	if !l.writerActive && l.activeReaders == 0 && len(l.rwQueue) == 0 {
+		l.writerActive = true
+		l.holder = t.id
+		e.enterCS(t, l, cost)
+		return
+	}
+	cost += e.predQnodeLink(l, t)
+	l.rwQueue = append(l.rwQueue, rwWaiter{tid: t.id, reader: false})
+	_ = cost
+}
+
+// rwWriterRelease is called from writerRelease when the scheme is
+// MCS-RW.
+func (e *engine) rwWriterRelease(t *thread) {
+	l := e.locks[t.lockIdx]
+	cost := l.wordLine.rmw(t.id)
+	l.writerActive = false
+	l.holder = -1
+	cost += e.rwGrantNext(l)
+	t.writes++
+	t.ops++
+	t.ph = phIdle
+	e.schedule(t.id, e.now+cost)
+}
+
+// rwGrantNext hands the lock to the head of the queue: one writer, or
+// a maximal run of consecutive readers. Returns the granter's cost of
+// writing each waiter's private line.
+func (e *engine) rwGrantNext(l *simLock) uint64 {
+	if len(l.rwQueue) == 0 {
+		return 0
+	}
+	var cost uint64
+	if !l.rwQueue[0].reader {
+		w := l.rwQueue[0]
+		l.rwQueue = l.rwQueue[1:]
+		l.writerActive = true
+		l.holder = w.tid
+		cost += e.threads[w.tid].qnodeLine.rmw(l.holderOrSelf())
+		e.threads[w.tid].ph = phWGranted
+		e.schedule(w.tid, e.now+cost+costRemoteMiss)
+		return cost
+	}
+	for len(l.rwQueue) > 0 && l.rwQueue[0].reader {
+		w := l.rwQueue[0]
+		l.rwQueue = l.rwQueue[1:]
+		l.activeReaders++
+		cost += e.threads[w.tid].qnodeLine.rmw(l.holderOrSelf())
+		e.threads[w.tid].ph = phRWShBody
+		e.schedule(w.tid, e.now+cost)
+	}
+	return cost
+}
+
+// holderOrSelf attributes grant-write cacheline ownership; the exact
+// core does not matter for the cost model, only that the waiter's line
+// is invalidated.
+func (l *simLock) holderOrSelf() int {
+	if l.holder >= 0 {
+		return l.holder
+	}
+	return 0
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Scheme: "nope"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := Run(Config{Scheme: "TTS", ReadPct: 10}); err == nil {
+		t.Fatal("reads on TTS accepted")
+	}
+	if _, err := Run(Config{Scheme: "OptiQL", ReadPct: 200}); err == nil {
+		t.Fatal("bad ReadPct accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Scheme: "OptiQL", Threads: 16, Locks: 1, ReadPct: 50, Seed: 7}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Ops != b.Ops || a.Reads != b.Reads || a.ReadAttempts != b.ReadAttempts {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 8
+	c := mustRun(t, cfg)
+	if c.Ops == a.Ops && c.Reads == a.Reads {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestSingleThreadAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"TTS", "OptLock", "OptLock-Backoff", "MCS", "OptiQL", "OptiQL-NOR"} {
+		r := mustRun(t, Config{Scheme: scheme, Threads: 1, Locks: 1})
+		if r.Ops == 0 || r.Writes != r.Ops {
+			t.Fatalf("%s single-thread: %+v", scheme, r)
+		}
+	}
+}
+
+// TestCentralizedCollapse asserts Figure 6's core shape: under extreme
+// contention, centralized locks lose most of their throughput as
+// threads grow, while queue-based locks plateau.
+func TestCentralizedCollapse(t *testing.T) {
+	tp := func(scheme string, threads int) float64 {
+		return mustRun(t, Config{Scheme: scheme, Threads: threads, Locks: 1}).Throughput()
+	}
+	for _, scheme := range []string{"TTS", "OptLock"} {
+		t1, t40 := tp(scheme, 1), tp(scheme, 40)
+		if t40 > t1/2 {
+			t.Errorf("%s did not collapse: 1thr=%.2f 40thr=%.2f ops/kcyc", scheme, t1, t40)
+		}
+	}
+	for _, scheme := range []string{"MCS", "OptiQL", "OptiQL-NOR"} {
+		t8, t40 := tp(scheme, 8), tp(scheme, 40)
+		if t40 < t8/2 {
+			t.Errorf("%s collapsed: 8thr=%.2f 40thr=%.2f ops/kcyc", scheme, t8, t40)
+		}
+	}
+	// And the paper's Fig 6 ordering at high thread counts: queue-based
+	// beats centralized under extreme contention.
+	if tp("OptiQL", 40) < tp("OptLock", 40) {
+		t.Errorf("OptiQL (%.2f) below OptLock (%.2f) at 40 threads / extreme contention",
+			tp("OptiQL", 40), tp("OptLock", 40))
+	}
+}
+
+// TestNoContentionScalesForAll asserts the right-most Figure 6 panel:
+// with per-thread locks everyone scales roughly linearly.
+func TestNoContentionScalesForAll(t *testing.T) {
+	for _, scheme := range []string{"TTS", "OptLock", "MCS", "OptiQL"} {
+		t1 := mustRun(t, Config{Scheme: scheme, Threads: 1, Locks: 0}).Throughput()
+		t32 := mustRun(t, Config{Scheme: scheme, Threads: 32, Locks: 0}).Throughput()
+		if t32 < 20*t1 {
+			t.Errorf("%s does not scale uncontended: 1thr=%.2f 32thr=%.2f", scheme, t1, t32)
+		}
+	}
+}
+
+// TestTable1ReaderStarvation asserts the opportunistic-read contrast:
+// with a standing writer queue, OptiQL admits far more readers than
+// OptiQL-NOR.
+func TestTable1ReaderStarvation(t *testing.T) {
+	run := func(scheme string) Result {
+		return mustRun(t, Config{
+			Scheme: scheme, Threads: 40, Locks: 5, ReadPct: 50, Split: true,
+			Cycles: 4_000_000,
+		})
+	}
+	nor := run("OptiQL-NOR")
+	or := run("OptiQL")
+	t.Logf("reader success: NOR %.2f%% (%d reads), OptiQL %.2f%% (%d reads)",
+		nor.ReadSuccessRate()*100, nor.Reads, or.ReadSuccessRate()*100, or.Reads)
+	if or.ReadSuccessRate() < 4*nor.ReadSuccessRate() {
+		t.Errorf("opportunistic read gap too small: NOR %.4f vs OptiQL %.4f",
+			nor.ReadSuccessRate(), or.ReadSuccessRate())
+	}
+	if or.Reads < 4*nor.Reads {
+		t.Errorf("OptiQL should complete many times more reads: %d vs %d", or.Reads, nor.Reads)
+	}
+}
+
+// TestBackoffUnfairness asserts the Section 1.1 claim: backoff rescues
+// throughput but skews per-thread acquisition counts, while FIFO queue
+// locks stay fair.
+func TestBackoffUnfairness(t *testing.T) {
+	cfgFor := func(scheme string) Config {
+		return Config{Scheme: scheme, Threads: 40, Locks: 1, Cycles: 4_000_000}
+	}
+	bo := mustRun(t, cfgFor("OptLock-Backoff"))
+	mcs := mustRun(t, cfgFor("MCS"))
+	oq := mustRun(t, cfgFor("OptiQL"))
+	t.Logf("fairness ratio: backoff %.2fx, MCS %.2fx, OptiQL %.2fx",
+		bo.FairnessRatio(), mcs.FairnessRatio(), oq.FairnessRatio())
+	if mcs.FairnessRatio() > 1.6 || oq.FairnessRatio() > 1.6 {
+		t.Errorf("queue locks should be near-fair: MCS %.2fx OptiQL %.2fx",
+			mcs.FairnessRatio(), oq.FairnessRatio())
+	}
+	if bo.FairnessRatio() < 1.5*oq.FairnessRatio() {
+		t.Errorf("backoff should be clearly less fair: %.2fx vs OptiQL %.2fx",
+			bo.FairnessRatio(), oq.FairnessRatio())
+	}
+	// And backoff outperforms plain OptLock under extreme contention.
+	ol := mustRun(t, cfgFor("OptLock"))
+	if bo.Throughput() < ol.Throughput() {
+		t.Errorf("backoff (%.2f) below plain OptLock (%.2f)", bo.Throughput(), ol.Throughput())
+	}
+}
+
+// TestOpportunisticReadCostVisible asserts Section 5.4's tradeoff: in a
+// pure-write workload the two extra atomics make OptiQL slightly
+// slower than OptiQL-NOR under contention.
+func TestOpportunisticReadCostVisible(t *testing.T) {
+	or := mustRun(t, Config{Scheme: "OptiQL", Threads: 40, Locks: 5}).Throughput()
+	nor := mustRun(t, Config{Scheme: "OptiQL-NOR", Threads: 40, Locks: 5}).Throughput()
+	t.Logf("update-only: OptiQL %.2f vs OptiQL-NOR %.2f ops/kcyc", or, nor)
+	if or > nor {
+		t.Errorf("OptiQL (%.2f) should not beat NOR (%.2f) on pure writes", or, nor)
+	}
+	if or < nor/2 {
+		t.Errorf("opportunistic-read overhead too large: %.2f vs %.2f", or, nor)
+	}
+}
+
+// TestShortCSBenefitsOpportunisticRead asserts the Figure 8 trend:
+// opportunistic read helps read-mostly workloads most with short
+// critical sections.
+func TestShortCSBenefitsOpportunisticRead(t *testing.T) {
+	gap := func(cs int) float64 {
+		or := mustRun(t, Config{Scheme: "OptiQL", Threads: 40, Locks: 5, ReadPct: 80, CSLen: cs, Split: true, Cycles: 4_000_000})
+		nor := mustRun(t, Config{Scheme: "OptiQL-NOR", Threads: 40, Locks: 5, ReadPct: 80, CSLen: cs, Split: true, Cycles: 4_000_000})
+		return float64(or.Reads+1) / float64(nor.Reads+1)
+	}
+	short, long := gap(5), gap(200)
+	t.Logf("reads(OptiQL)/reads(NOR): CS=5 %.2fx, CS=200 %.2fx", short, long)
+	if short <= 1 {
+		t.Errorf("opportunistic read should win at short CS: %.2fx", short)
+	}
+	if long > short {
+		t.Errorf("benefit should shrink with CS length: CS5=%.2fx CS200=%.2fx", short, long)
+	}
+}
+
+// TestMixedRatioTrends checks Figure 7's medium-contention panel:
+// optimistic locks gain throughput as the read share rises.
+func TestMixedRatioTrends(t *testing.T) {
+	tp := func(scheme string, readPct int) float64 {
+		return mustRun(t, Config{
+			Scheme: scheme, Threads: 40, Locks: 30000, ReadPct: readPct,
+		}).Throughput()
+	}
+	for _, scheme := range []string{"OptLock", "OptiQL"} {
+		w := tp(scheme, 0)
+		r := tp(scheme, 90)
+		if r < w {
+			t.Errorf("%s: 90%% reads (%.2f) slower than pure writes (%.2f) at medium contention", scheme, r, w)
+		}
+	}
+}
+
+// TestAccounting sanity-checks counters.
+func TestAccounting(t *testing.T) {
+	r := mustRun(t, Config{Scheme: "OptiQL", Threads: 8, Locks: 5, ReadPct: 50})
+	if r.Reads+r.Writes != r.Ops {
+		t.Fatalf("reads %d + writes %d != ops %d", r.Reads, r.Writes, r.Ops)
+	}
+	if r.ReadAttempts < r.Reads {
+		t.Fatalf("attempts %d < reads %d", r.ReadAttempts, r.Reads)
+	}
+	if len(r.PerThreadOps) != 8 {
+		t.Fatalf("per-thread ops length %d", len(r.PerThreadOps))
+	}
+	var sum uint64
+	for _, n := range r.PerThreadOps {
+		sum += n
+	}
+	if sum != r.Ops {
+		t.Fatalf("per-thread sum %d != ops %d", sum, r.Ops)
+	}
+}
+
+// Property: the simulator terminates and counts sanely for arbitrary
+// small configurations.
+func TestQuickConfigs(t *testing.T) {
+	schemes := []string{"TTS", "OptLock", "OptLock-Backoff", "MCS", "OptiQL", "OptiQL-NOR"}
+	f := func(seed uint64, th, lk, rp uint8) bool {
+		scheme := schemes[int(seed%uint64(len(schemes)))]
+		readPct := int(rp) % 101
+		if scheme == "TTS" || scheme == "MCS" {
+			readPct = 0
+		}
+		r, err := Run(Config{
+			Scheme:  scheme,
+			Threads: int(th)%16 + 1,
+			Locks:   int(lk) % 4, // includes 0 = per-thread
+			ReadPct: readPct,
+			Cycles:  200_000,
+			Seed:    seed,
+		})
+		if err != nil {
+			return false
+		}
+		return r.Reads+r.Writes == r.Ops && r.ReadAttempts >= r.Reads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMCSRWSimulated checks the fair RW lock's simulated behaviour
+// matches the paper: robust under write contention (no collapse),
+// readers always complete (pessimistic), but read-heavy throughput
+// trails the optimistic locks because readers pay atomics.
+func TestMCSRWSimulated(t *testing.T) {
+	// No collapse under extreme write contention.
+	t8 := mustRun(t, Config{Scheme: "MCS-RW", Threads: 8, Locks: 1}).Throughput()
+	t40 := mustRun(t, Config{Scheme: "MCS-RW", Threads: 40, Locks: 1}).Throughput()
+	if t40 < t8/2 {
+		t.Errorf("MCS-RW collapsed: 8thr=%.2f 40thr=%.2f", t8, t40)
+	}
+	// Pessimistic readers: every attempt completes, except those still
+	// in flight (at most one per thread) when the cycle budget ends.
+	r := mustRun(t, Config{Scheme: "MCS-RW", Threads: 40, Locks: 5, ReadPct: 80})
+	if r.ReadAttempts-r.Reads > uint64(r.Config.Threads) {
+		t.Errorf("pessimistic reads failed: %d attempts, %d reads", r.ReadAttempts, r.Reads)
+	}
+	if r.Reads == 0 || r.Writes == 0 {
+		t.Fatalf("degenerate mix: %+v", r)
+	}
+	// Read-heavy, low contention: optimistic OptiQL must beat MCS-RW
+	// (readers that write shared memory cannot scale reads).
+	rw := mustRun(t, Config{Scheme: "MCS-RW", Threads: 40, Locks: 1000000, ReadPct: 90}).Throughput()
+	oq := mustRun(t, Config{Scheme: "OptiQL", Threads: 40, Locks: 1000000, ReadPct: 90}).Throughput()
+	t.Logf("read-heavy low contention: MCS-RW %.2f vs OptiQL %.2f ops/kcyc", rw, oq)
+	if oq <= rw {
+		t.Errorf("OptiQL (%.2f) should beat MCS-RW (%.2f) on read-heavy workloads", oq, rw)
+	}
+}

@@ -1,0 +1,8 @@
+package workload
+
+import "math"
+
+// Thin wrappers keep the generator code close to the pseudocode of
+// Gray et al. [17].
+func logf(x float64) float64    { return math.Log(x) }
+func powf(x, y float64) float64 { return math.Pow(x, y) }

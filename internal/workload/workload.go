@@ -1,0 +1,285 @@
+// Package workload provides the key distributions, key spaces and
+// operation mixes used by the paper's evaluation (Section 7.1): uniform
+// random and self-similar [17] key selection (the skewed experiments
+// use a self-similar distribution with skew factor 0.2, i.e. 80% of
+// accesses target 20% of the keys), dense and sparse integer key
+// spaces, and read/write operation mixes.
+package workload
+
+import "fmt"
+
+// RNG is a per-worker xorshift64* pseudo-random generator: tiny, fast,
+// allocation-free, and independent across workers.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; seed 0 is mapped to a fixed non-zero value.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint64n returns a value in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Distribution selects record indices in [0, N).
+type Distribution interface {
+	// Next draws the next record index using the worker's RNG.
+	Next(r *RNG) uint64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Uniform draws indices uniformly at random.
+type Uniform struct {
+	N uint64
+}
+
+// NewUniform creates a uniform distribution over [0, n).
+func NewUniform(n uint64) Uniform { return Uniform{N: n} }
+
+// Next implements Distribution.
+func (u Uniform) Next(r *RNG) uint64 { return r.Uint64n(u.N) }
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return "uniform" }
+
+// SelfSimilar implements the self-similar distribution of Gray et
+// al. [17]: with skew factor h, a fraction (1-h) of accesses hit the
+// first h*N records, recursively. h = 0.2 gives the paper's "80% of
+// accesses on 20% of keys".
+type SelfSimilar struct {
+	N uint64
+	// exponent = log(h) / log(1-h), precomputed.
+	exponent float64
+	h        float64
+}
+
+// NewSelfSimilar creates a self-similar distribution over [0, n) with
+// skew factor h in (0, 0.5].
+func NewSelfSimilar(n uint64, h float64) SelfSimilar {
+	if h <= 0 || h >= 1 {
+		panic(fmt.Sprintf("workload: invalid skew factor %v", h))
+	}
+	return SelfSimilar{N: n, h: h, exponent: logf(h) / logf(1-h)}
+}
+
+// Next implements Distribution.
+func (s SelfSimilar) Next(r *RNG) uint64 {
+	idx := uint64(float64(s.N) * powf(r.Float64(), s.exponent))
+	if idx >= s.N {
+		idx = s.N - 1
+	}
+	return idx
+}
+
+// Name implements Distribution.
+func (s SelfSimilar) Name() string { return fmt.Sprintf("selfsimilar(%.2g)", s.h) }
+
+// Zipfian draws indices from a Zipf distribution with parameter theta,
+// using the YCSB/Gray rejection-free approximation.
+type Zipfian struct {
+	N     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipfian creates a Zipf distribution over [0, n) with parameter
+// theta in (0, 1).
+func NewZipfian(n uint64, theta float64) Zipfian {
+	z := Zipfian{N: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - powf(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / powf(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Distribution.
+func (z Zipfian) Next(r *RNG) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+powf(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.N) * powf(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.N {
+		idx = z.N - 1
+	}
+	return idx
+}
+
+// Name implements Distribution.
+func (z Zipfian) Name() string { return fmt.Sprintf("zipf(%.2g)", z.theta) }
+
+// KeySpace maps record indices to 8-byte keys.
+type KeySpace uint8
+
+const (
+	// Dense keys are consecutive integers starting at 1, the layout the
+	// paper uses to maximize lock stress (Section 7.3).
+	Dense KeySpace = iota
+	// Sparse keys are well-distributed 64-bit integers (splitmix64 of
+	// the index), forcing lazy expansion in ART (Section 7.6).
+	Sparse
+)
+
+// Key maps a record index to its key.
+func (ks KeySpace) Key(idx uint64) uint64 {
+	switch ks {
+	case Dense:
+		return idx + 1
+	default:
+		return mix64(idx + 1)
+	}
+}
+
+// String implements fmt.Stringer.
+func (ks KeySpace) String() string {
+	if ks == Dense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// mix64 is the splitmix64 finalizer, a bijection on uint64.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// OpKind is an index operation type.
+type OpKind uint8
+
+// Operation kinds drawn by Mix.
+const (
+	OpLookup OpKind = iota
+	OpUpdate
+	OpInsert
+	OpDelete
+	OpScan
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o OpKind) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	}
+	return "?"
+}
+
+// Mix is an operation mix in percent; the parts must sum to 100.
+type Mix struct {
+	LookupPct, UpdatePct, InsertPct, DeletePct, ScanPct int
+}
+
+// Validate checks the percentages.
+func (m Mix) Validate() error {
+	sum := m.LookupPct + m.UpdatePct + m.InsertPct + m.DeletePct + m.ScanPct
+	if sum != 100 {
+		return fmt.Errorf("workload: mix sums to %d%%, want 100%%", sum)
+	}
+	return nil
+}
+
+// Draw picks the next operation kind.
+func (m Mix) Draw(r *RNG) OpKind {
+	p := int(r.Uint64n(100))
+	p -= m.LookupPct
+	if p < 0 {
+		return OpLookup
+	}
+	p -= m.UpdatePct
+	if p < 0 {
+		return OpUpdate
+	}
+	p -= m.InsertPct
+	if p < 0 {
+		return OpInsert
+	}
+	p -= m.DeletePct
+	if p < 0 {
+		return OpDelete
+	}
+	return OpScan
+}
+
+// String implements fmt.Stringer.
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d", m.LookupPct, m.UpdatePct, m.InsertPct, m.DeletePct, m.ScanPct)
+}
+
+// Named workload mixes of Section 7.3.
+var (
+	ReadOnly   = Mix{LookupPct: 100}
+	ReadHeavy  = Mix{LookupPct: 80, UpdatePct: 20}
+	Balanced   = Mix{LookupPct: 50, UpdatePct: 50}
+	WriteHeavy = Mix{LookupPct: 20, UpdatePct: 80}
+	UpdateOnly = Mix{UpdatePct: 100}
+)
+
+// MixByName resolves the Section 7.3 workload names.
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "read-only":
+		return ReadOnly, nil
+	case "read-heavy":
+		return ReadHeavy, nil
+	case "balanced":
+		return Balanced, nil
+	case "write-heavy":
+		return WriteHeavy, nil
+	case "update-only":
+		return UpdateOnly, nil
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// MixNames lists the Section 7.3 workloads in figure order.
+func MixNames() []string {
+	return []string{"read-only", "read-heavy", "balanced", "write-heavy", "update-only"}
+}

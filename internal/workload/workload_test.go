@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(2)
+	same := 0
+	a2 := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(1000)
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		if v := u.Next(r); v >= 1000 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+}
+
+// TestSelfSimilarSkew verifies the 80/20 property: with h=0.2, about
+// 80% of draws land in the first 20% of the key space, recursively.
+func TestSelfSimilarSkew(t *testing.T) {
+	const n = 1_000_000
+	s := NewSelfSimilar(n, 0.2)
+	r := NewRNG(4)
+	const draws = 200000
+	var in20, in4 int
+	for i := 0; i < draws; i++ {
+		v := s.Next(r)
+		if v >= n {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v < n/5 {
+			in20++
+		}
+		if v < n/25 {
+			in4++
+		}
+	}
+	frac20 := float64(in20) / draws
+	if frac20 < 0.77 || frac20 > 0.83 {
+		t.Fatalf("P(first 20%%) = %.3f, want ~0.80", frac20)
+	}
+	// Recursion: 64% of accesses in the first 4%.
+	frac4 := float64(in4) / draws
+	if frac4 < 0.60 || frac4 > 0.68 {
+		t.Fatalf("P(first 4%%) = %.3f, want ~0.64", frac4)
+	}
+}
+
+// TestSelfSimilarDenseHotSet mirrors the paper's claim that the first
+// 256 keys of a dense 100M-key space receive ~16% of accesses.
+func TestSelfSimilarDenseHotSet(t *testing.T) {
+	const n = 100_000_000
+	s := NewSelfSimilar(n, 0.2)
+	r := NewRNG(5)
+	const draws = 400000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if s.Next(r) < 256 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.12 || frac > 0.20 {
+		t.Fatalf("P(first 256 keys) = %.3f, want ~0.16", frac)
+	}
+}
+
+func TestZipfianBoundsAndSkew(t *testing.T) {
+	z := NewZipfian(10000, 0.99)
+	r := NewRNG(6)
+	first := 0
+	for i := 0; i < 50000; i++ {
+		v := z.Next(r)
+		if v >= 10000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		if v < 100 {
+			first++
+		}
+	}
+	if frac := float64(first) / 50000; frac < 0.4 {
+		t.Fatalf("zipf(0.99) not skewed: P(first 1%%) = %.3f", frac)
+	}
+}
+
+func TestKeySpaces(t *testing.T) {
+	if Dense.Key(0) != 1 || Dense.Key(41) != 42 {
+		t.Fatal("dense keys not consecutive from 1")
+	}
+	// Sparse keys must be a collision-free mapping (bijection property
+	// spot check) and well spread across the byte space.
+	seen := make(map[uint64]bool)
+	var topBytes [256]int
+	for i := uint64(0); i < 50000; i++ {
+		k := Sparse.Key(i)
+		if seen[k] {
+			t.Fatalf("sparse collision at %d", i)
+		}
+		seen[k] = true
+		topBytes[byte(k>>56)]++
+	}
+	nonzero := 0
+	for _, c := range topBytes {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 250 {
+		t.Fatalf("sparse keys cover only %d/256 top bytes", nonzero)
+	}
+	if Dense.String() != "dense" || Sparse.String() != "sparse" {
+		t.Fatal("KeySpace names wrong")
+	}
+}
+
+func TestMixValidateAndDraw(t *testing.T) {
+	if err := (Mix{LookupPct: 50, UpdatePct: 50}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mix{LookupPct: 50}).Validate(); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+	m := Mix{LookupPct: 80, UpdatePct: 20}
+	r := NewRNG(7)
+	counts := map[OpKind]int{}
+	for i := 0; i < 100000; i++ {
+		counts[m.Draw(r)]++
+	}
+	if frac := float64(counts[OpLookup]) / 100000; frac < 0.78 || frac > 0.82 {
+		t.Fatalf("lookup fraction = %.3f, want ~0.80", frac)
+	}
+	if counts[OpInsert]+counts[OpDelete]+counts[OpScan] != 0 {
+		t.Fatal("drew an operation with 0%")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range MixNames() {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if UpdateOnly.Draw(NewRNG(8)) != OpUpdate {
+		t.Fatal("update-only drew a non-update")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	want := []string{"lookup", "update", "insert", "delete", "scan"}
+	for i, w := range want {
+		if OpKind(i).String() != w {
+			t.Fatalf("OpKind(%d) = %q, want %q", i, OpKind(i), w)
+		}
+	}
+}
+
+// Property: distributions never leave their range.
+func TestDistributionRangeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := uint64(nRaw)%10000 + 1
+		r := NewRNG(seed)
+		u := NewUniform(n)
+		s := NewSelfSimilar(n, 0.2)
+		for i := 0; i < 50; i++ {
+			if u.Next(r) >= n || s.Next(r) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
