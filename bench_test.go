@@ -18,6 +18,7 @@ import (
 	"optiql/internal/btree"
 	"optiql/internal/core"
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
 
@@ -362,6 +363,44 @@ func BenchmarkFig13(b *testing.B) {
 							idx.Lookup(c, k)
 						} else {
 							idx.Update(c, k, rng.Uint64())
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkObsOverhead is the enabled-vs-disabled A/B for the event
+// counters: a uniform read-heavy B+-tree workload (the regime where a
+// fixed per-op cost is most visible) run once with per-worker counters
+// registered and once without. DESIGN.md records the measured delta;
+// the counters are meant to be left on in normal runs.
+func BenchmarkObsOverhead(b *testing.B) {
+	const records = 100_000
+	for _, scheme := range []string{"OptLock", "OptiQL"} {
+		for _, arm := range []string{"disabled", "enabled"} {
+			b.Run(fmt.Sprintf("%s/%s", scheme, arm), func(b *testing.B) {
+				t, pool := newLoadedBTree(b, scheme, 256, records)
+				var reg *obs.Registry
+				if arm == "enabled" {
+					reg = obs.NewRegistry()
+				}
+				d := workload.NewUniform(records)
+				var seq atomic.Uint64
+				b.SetParallelism(parallelism)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					c := locks.NewCtx(pool, 8)
+					defer c.Close()
+					c.SetCounters(reg.NewCounters()) // nil registry -> disabled
+					rng := workload.NewRNG(seq.Add(1))
+					for pb.Next() {
+						k := workload.Dense.Key(d.Next(rng))
+						if rng.Uint64n(100) < 80 {
+							t.Lookup(c, k)
+						} else {
+							t.Update(c, k, rng.Uint64())
 						}
 					}
 				})

@@ -16,6 +16,7 @@ import (
 
 	"optiql/internal/bench"
 	"optiql/internal/experiments"
+	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
 
@@ -35,6 +36,10 @@ func main() {
 		sparseK  = flag.Bool("sparse", false, "use sparse integer keys")
 		nodeSize = flag.Int("nodesize", 256, "B+-tree node size in bytes")
 		noexpand = flag.Bool("noexpand", false, "disable ART contention expansion (ablation)")
+
+		jsonPath = flag.String("json", "", "write a machine-readable run report to this path (\"-\" = stdout); custom runs only")
+		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		latency  = flag.Bool("latency", false, "collect sampled per-operation latencies")
 	)
 	flag.Parse()
 
@@ -50,6 +55,9 @@ func main() {
 	}
 
 	if *experiment != "" {
+		if *jsonPath != "" {
+			fatal(fmt.Errorf("-json applies to custom single runs, not -experiment tables"))
+		}
 		fn, err := experiments.ByName(*experiment)
 		if err != nil {
 			fatal(err)
@@ -79,11 +87,29 @@ func main() {
 		KeySpace:            ks,
 		Mix:                 mix,
 		Duration:            *duration,
+		Latency:             *latency,
 		ARTDisableExpansion: *noexpand,
+	}
+	if *obsAddr != "" {
+		src := &obs.LiveSource{}
+		cfg.Live = src
+		_, bound, err := obs.Serve(*obsAddr, src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability endpoint on http://%s/metrics\n", bound)
 	}
 	res, err := bench.RunIndex(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := res.Report("indexbench").WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		if *jsonPath == "-" {
+			return
+		}
 	}
 	fmt.Printf("index=%s scheme=%s threads=%d records=%d dist=%s keys=%s mix=%s\n",
 		*index, *scheme, cfg.Threads, *records, *dist, ks, *mixName)
@@ -95,6 +121,15 @@ func main() {
 	}
 	if res.Expansions > 0 {
 		fmt.Printf("  contention expansions: %d\n", res.Expansions)
+	}
+	if res.Obs != nil {
+		fmt.Printf("  lock events: %d validation failures, %d restarts, %d free / %d handover acquires\n",
+			res.Obs.Get(obs.EvShValidateFail), res.Obs.Get(obs.EvOpRestart),
+			res.Obs.Get(obs.EvExFree), res.Obs.Get(obs.EvExHandover))
+	}
+	if min, avg, stddev := res.Timeline.Stats(); avg > 0 {
+		fmt.Printf("  timeline: min %.3f / avg %.3f / stddev %.3f Mops over %d intervals\n",
+			min, avg, stddev, len(res.Timeline.Ops))
 	}
 }
 

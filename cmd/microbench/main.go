@@ -31,6 +31,8 @@ func main() {
 		readPct = flag.Int("readpct", 0, "read percentage for custom runs")
 		csLen   = flag.Int("cs", 50, "critical-section length")
 		split   = flag.Bool("split", false, "dedicate threads to pure reads/writes")
+
+		jsonPath = flag.String("json", "", "write a machine-readable run report to this path (\"-\" = stdout); custom runs only")
 	)
 	flag.Parse()
 
@@ -46,6 +48,9 @@ func main() {
 	}
 
 	if *experiment != "" {
+		if *jsonPath != "" {
+			fatal(fmt.Errorf("-json applies to custom single runs, not -experiment tables"))
+		}
 		fn, err := experiments.ByName(*experiment)
 		if err != nil {
 			fatal(err)
@@ -68,6 +73,14 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := res.Report("microbench").WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		if *jsonPath == "-" {
+			return
+		}
 	}
 	fmt.Printf("scheme=%s threads=%d locks=%d read%%=%d cs=%d\n",
 		*scheme, ths[len(ths)-1], *nlocks, *readPct, *csLen)

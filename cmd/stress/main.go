@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"optiql/internal/btree"
 	"optiql/internal/core"
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
 
@@ -76,12 +78,24 @@ type run struct {
 	duration      time.Duration
 	nodeSize      int
 	sparse        bool
+	// live, when non-nil, is pointed at this run's counters so the -obs
+	// HTTP endpoint serves them while the stress is hot.
+	live *obs.LiveSource
 }
 
-func (r run) execute() error {
+// opsCell is one worker's completed-operation counter, padded so the
+// live endpoint's reads never share a cache line with a neighbour.
+type opsCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// execute runs one stress configuration and returns its machine-
+// readable report (counters populated even without -obs).
+func (r run) execute() (*obs.Report, error) {
 	idx, scan, err := build(r.index, r.scheme, r.nodeSize)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pool := core.NewPool(core.MaxQNodes)
 	ks := workload.Dense
@@ -104,6 +118,17 @@ func (r run) execute() error {
 		ops      atomic.Uint64
 		wg       sync.WaitGroup
 	)
+	reg := obs.NewRegistry()
+	cells := make([]opsCell, r.workers)
+	if r.live != nil {
+		r.live.Set(reg.Snapshot, func() uint64 {
+			var t uint64
+			for i := range cells {
+				t += cells[i].n.Load()
+			}
+			return t
+		})
+	}
 	report := func(format string, args ...any) {
 		failures.Add(1)
 		fmt.Fprintf(os.Stderr, "FAIL["+r.index+"/"+r.scheme+"]: "+format+"\n", args...)
@@ -116,11 +141,14 @@ func (r run) execute() error {
 			defer wg.Done()
 			c := locks.NewCtx(pool, 8)
 			defer c.Close()
+			c.SetCounters(reg.NewCounters())
 			rng := workload.NewRNG(uint64(w)*7919 + 13)
 			ref := refs[w]
+			cell := &cells[w]
 			var n uint64
 			for !stop.Load() {
 				n++
+				cell.n.Store(n)
 				i := int(rng.Uint64n(uint64(r.keyspace)))
 				ownIdx := uint64(i*r.workers + w)
 				key := ks.Key(ownIdx)
@@ -167,9 +195,11 @@ func (r run) execute() error {
 			ops.Add(n)
 		}()
 	}
+	start := time.Now()
 	time.Sleep(r.duration)
 	stop.Store(true)
 	wg.Wait()
+	elapsed := time.Since(start)
 
 	// Final audit: every owned key must match its model entry.
 	c := locks.NewCtx(pool, 8)
@@ -185,11 +215,34 @@ func (r run) execute() error {
 			}
 		}
 	}
+	snap := reg.Snapshot()
+	mops := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		mops = float64(ops.Load()) / s / 1e6
+	}
+	rep := &obs.Report{
+		Tool:      "stress",
+		Timestamp: time.Now(),
+		Host:      obs.CurrentHost(),
+		Config: map[string]any{
+			"index":           r.index,
+			"scheme":          r.scheme,
+			"workers":         r.workers,
+			"keys_per_worker": r.keyspace,
+			"node_size":       r.nodeSize,
+			"sparse":          r.sparse,
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            ops.Load(),
+		Mops:           mops,
+		Counters:       snap.Map(),
+		Extra:          map[string]any{"failures": failures.Load()},
+	}
 	if f := failures.Load(); f > 0 {
-		return fmt.Errorf("%s/%s: %d failures (%d ops)", r.index, r.scheme, f, ops.Load())
+		return rep, fmt.Errorf("%s/%s: %d failures (%d ops)", r.index, r.scheme, f, ops.Load())
 	}
 	fmt.Printf("PASS %s/%-11s %12d ops, audit clean\n", r.index, r.scheme, ops.Load())
-	return nil
+	return rep, nil
 }
 
 func main() {
@@ -202,12 +255,27 @@ func main() {
 		nodeSize  = flag.Int("nodesize", 256, "B+-tree node size")
 		sparse    = flag.Bool("sparse", false, "sparse keys")
 		all       = flag.Bool("all", false, "stress every reader-capable scheme on both indexes")
+
+		jsonPath = flag.String("json", "", "write machine-readable run reports to this path (\"-\" = stdout)")
+		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	var live *obs.LiveSource
+	if *obsAddr != "" {
+		live = &obs.LiveSource{}
+		_, bound, err := obs.Serve(*obsAddr, live)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoint on http://%s/metrics\n", bound)
+	}
+
 	runs := []run{{
 		index: *indexKind, scheme: *scheme, workers: *workers,
-		keyspace: *keyspace, duration: *duration, nodeSize: *nodeSize, sparse: *sparse,
+		keyspace: *keyspace, duration: *duration, nodeSize: *nodeSize,
+		sparse: *sparse, live: live,
 	}}
 	if *all {
 		runs = runs[:0]
@@ -216,17 +284,47 @@ func main() {
 				runs = append(runs, run{
 					index: idx, scheme: s, workers: *workers,
 					keyspace: *keyspace, duration: *duration,
-					nodeSize: *nodeSize, sparse: *sparse,
+					nodeSize: *nodeSize, sparse: *sparse, live: live,
 				})
 			}
 		}
 	}
 	exit := 0
+	var reports []*obs.Report
 	for _, r := range runs {
-		if err := r.execute(); err != nil {
+		rep, err := r.execute()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+		if rep != nil {
+			reports = append(reports, rep)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeReports(*jsonPath, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
 			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// writeReports emits one report directly, or an array for -all runs.
+func writeReports(path string, reports []*obs.Report) error {
+	if len(reports) == 1 {
+		return reports[0].WriteFile(path)
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }

@@ -1,0 +1,109 @@
+package art
+
+import (
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
+
+func newObsCtx(t *testing.T, reg *obs.Registry) *locks.Ctx {
+	t.Helper()
+	c := locks.NewCtx(core.NewPool(8), 4)
+	c.SetCounters(reg.NewCounters())
+	t.Cleanup(c.Close)
+	return c
+}
+
+// flakyLock forces the next *fails validations to fail (bumping the
+// validation counter as a real adapter would), making restart counting
+// deterministic without concurrency.
+type flakyLock struct {
+	locks.Lock
+	fails *int
+}
+
+func (f flakyLock) ReleaseSh(c *locks.Ctx, t locks.Token) bool {
+	ok := f.Lock.ReleaseSh(c, t)
+	if ok && *f.fails > 0 {
+		*f.fails--
+		c.Counters().Inc(obs.EvShValidateFail)
+		return false
+	}
+	return ok
+}
+
+func flakyScheme(fails *int) *locks.Scheme {
+	newLock := func() locks.Lock { return flakyLock{new(locks.OptLock), fails} }
+	return &locks.Scheme{
+		Name:       "FlakyOptLock",
+		Optimistic: true,
+		SharedMode: true,
+		NewLock:    newLock,
+		NewInner:   newLock,
+		NewLeaf:    newLock,
+	}
+}
+
+// TestRestartCounterExact: N forced validation failures on Lookup
+// produce exactly N counted restarts.
+func TestRestartCounterExact(t *testing.T) {
+	const forced = 4
+	fails := 0
+	tr := MustNew(Config{Scheme: flakyScheme(&fails)})
+	reg := obs.NewRegistry()
+	c := newObsCtx(t, reg)
+
+	tr.Insert(c, 0x0102030405060708, 9)
+	base := reg.Snapshot()
+
+	fails = forced
+	if v, ok := tr.Lookup(c, 0x0102030405060708); !ok || v != 9 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get(obs.EvOpRestart) - base.Get(obs.EvOpRestart); got != forced {
+		t.Fatalf("op_restart = %d, want %d", got, forced)
+	}
+}
+
+// TestExpansionCounter triggers a contention expansion deterministically
+// (threshold 1, sampling off) via the path Update takes after a sampled
+// upgrade failure, and checks both the tree's own expansion count and
+// the obs counter.
+func TestExpansionCounter(t *testing.T) {
+	tr := MustNew(Config{
+		Scheme:          locks.MustByName("OptiQL"),
+		ExpandThreshold: 1,
+		SampleInverse:   1,
+	})
+	reg := obs.NewRegistry()
+	c := newObsCtx(t, reg)
+
+	const k = 0x1122334455667788
+	tr.Insert(c, k, 1)
+
+	// The leaf hangs directly off the root (level 0); one contention
+	// note crosses the threshold and materializes the path.
+	tr.noteContention(c, tr.root, 0, k)
+	snap := reg.Snapshot()
+	if got := snap.Get(obs.EvARTExpand); got != 1 {
+		t.Fatalf("art_expansion = %d, want 1", got)
+	}
+	if tr.expansions.Load() != 1 {
+		t.Fatalf("tree expansions = %d, want 1", tr.expansions.Load())
+	}
+
+	// The slot now holds a node, not a leaf: a second note is a no-op.
+	tr.root.contention.Store(0)
+	tr.noteContention(c, tr.root, 0, k)
+	if got := reg.Snapshot().Get(obs.EvARTExpand); got != 1 {
+		t.Fatalf("art_expansion after no-op = %d, want 1", got)
+	}
+
+	// The expanded path still resolves the key.
+	if v, ok := tr.Lookup(c, k); !ok || v != 1 {
+		t.Fatalf("Lookup after expansion = %d,%v", v, ok)
+	}
+}

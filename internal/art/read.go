@@ -1,25 +1,33 @@
 package art
 
-import "optiql/internal/locks"
+import (
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
 
 // Lookup returns the value stored under k, traversing with optimistic
 // lock coupling: node versions are validated hand over hand, and the
 // operation restarts on any failure. Under pessimistic schemes the same
 // path becomes shared lock coupling.
 func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
-restart:
+	// retry counts a restart before re-entering; the first attempt
+	// skips it (same pattern as the B+-tree traversals).
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root
 	level := 0
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	for {
 		if checkPrefix(n, k, level) < n.prefixLen {
 			// Prefix mismatch: the key is not in the tree (prefixes are
 			// stored in full, so this is definitive once validated).
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return 0, false
 		}
@@ -27,12 +35,12 @@ restart:
 		if pos >= 8 {
 			// Possible only under a torn read; validation must fail.
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		r := n.findChild(keyByte(k, pos))
 		if r.empty() {
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return 0, false
 		}
@@ -40,7 +48,7 @@ restart:
 			// Leaf: read key and value, then validate the owner node.
 			key, val := r.l.key, r.l.value
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			if key != k {
 				return 0, false
@@ -50,11 +58,11 @@ restart:
 		child := r.n
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 		level = pos + 1

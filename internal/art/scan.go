@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 )
 
 // KV is a key/value pair returned by Scan.
@@ -46,6 +47,7 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 		if err == nil {
 			return out
 		}
+		c.Counters().Inc(obs.EvOpRestart)
 		if len(out) > 0 {
 			last := out[len(out)-1].Key
 			if last == ^uint64(0) {

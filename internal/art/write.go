@@ -1,6 +1,9 @@
 package art
 
-import "optiql/internal/locks"
+import (
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
 
 // Update sets the value of an existing key, returning whether it was
 // found. This is the operation Section 6.2 adapts most heavily:
@@ -18,30 +21,33 @@ import "optiql/internal/locks"
 //   - Under pessimistic schemes the updater releases its shared hold
 //     and blocks for the exclusive lock, revalidating under it.
 func (t *Tree) Update(c *locks.Ctx, k, v uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root
 	level := 0
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	for {
 		if checkPrefix(n, k, level) < n.prefixLen {
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return false // definitive miss
 		}
 		pos := level + n.prefixLen
 		if pos >= 8 {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		b := keyByte(k, pos)
 		r := n.findChild(b)
 		if r.empty() {
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return false
 		}
@@ -50,7 +56,7 @@ restart:
 			// without taking any lock (subject to validation).
 			if r.l.key != k {
 				if !n.lock.ReleaseSh(c, tok) {
-					goto restart
+					goto retry
 				}
 				return false
 			}
@@ -60,7 +66,7 @@ restart:
 				if done {
 					return found
 				}
-				goto restart
+				goto retry
 			}
 			if n.lock.Upgrade(c, &tok) {
 				r.l.value = v
@@ -70,16 +76,16 @@ restart:
 			if t.scheme.QueueWriters {
 				t.noteContention(c, n, level, k)
 			}
-			goto restart
+			goto retry
 		}
 		child := r.n
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 		level = pos + 1
@@ -177,6 +183,7 @@ func (t *Tree) tryExpand(c *locks.Ctx, n *node, level int, k uint64) {
 	n.replaceChild(b, ref{n: last})
 	n.contention.Store(0)
 	t.expansions.Add(1)
+	c.Counters().Inc(obs.EvARTExpand)
 }
 
 // Insert stores (k, v), returning true if the key was newly inserted
@@ -193,7 +200,10 @@ func (t *Tree) Insert(c *locks.Ctx, k, v uint64) bool {
 // nodes a given case needs (parent+node for growth and prefix splits,
 // node alone otherwise). Any upgrade failure restarts from the root.
 func (t *Tree) insertOptimistic(c *locks.Ctx, k, v uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	var (
 		pn   *node
 		ptok locks.Token
@@ -203,7 +213,7 @@ restart:
 	level := 0
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	for {
 		off := checkPrefix(n, k, level)
@@ -212,11 +222,11 @@ restart:
 			// Node4 branching between n's trimmed copy and the new
 			// leaf. The root has no prefix, so pn exists.
 			if !pn.lock.Upgrade(c, &ptok) {
-				goto restart
+				goto retry
 			}
 			if !n.lock.Upgrade(c, &tok) {
 				pn.lock.ReleaseEx(c, ptok)
-				goto restart
+				goto retry
 			}
 			np := t.newNode(kind4)
 			np.prefixLen = off
@@ -234,7 +244,7 @@ restart:
 		pos := level + n.prefixLen
 		if pos >= 8 {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		b := keyByte(k, pos)
 		r := n.findChild(b)
@@ -243,11 +253,11 @@ restart:
 				// Grow n into the next kind; needs the parent to swing
 				// its slot. The root (Node256) is never full.
 				if !pn.lock.Upgrade(c, &ptok) {
-					goto restart
+					goto retry
 				}
 				if !n.lock.Upgrade(c, &tok) {
 					pn.lock.ReleaseEx(c, ptok)
-					goto restart
+					goto retry
 				}
 				big := t.grow(n)
 				big.addChild(b, ref{l: &leaf{key: k, value: v}})
@@ -259,7 +269,7 @@ restart:
 				return true
 			}
 			if !n.lock.Upgrade(c, &tok) {
-				goto restart
+				goto retry
 			}
 			n.addChild(b, ref{l: &leaf{key: k, value: v}})
 			n.lock.ReleaseEx(c, tok)
@@ -270,7 +280,7 @@ restart:
 			if r.l.key == k {
 				// Upsert of an existing key.
 				if !n.lock.Upgrade(c, &tok) {
-					goto restart
+					goto retry
 				}
 				r.l.value = v
 				n.lock.ReleaseEx(c, tok)
@@ -279,7 +289,7 @@ restart:
 			// Lazy-expansion split: both keys share the path to pos;
 			// branch them at their first diverging byte.
 			if !n.lock.Upgrade(c, &tok) {
-				goto restart
+				goto retry
 			}
 			nn := t.lazySplit(r.l, k, v, pos)
 			n.replaceChild(b, ref{n: nn})
@@ -290,13 +300,13 @@ restart:
 		child := r.n
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		// Validate n but keep its token: it becomes the remembered
 		// parent version for upgrades one level down.
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		pn, ptok, pb = n, tok, b
 		n, tok = child, ctok
@@ -416,7 +426,10 @@ func (t *Tree) lazySplit(l *leaf, k, v uint64, pos int) *node {
 // cases. Structural cleanup is skipped under pessimistic schemes
 // (which cannot upgrade); their structure stays correct, just looser.
 func (t *Tree) Delete(c *locks.Ctx, k uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	var (
 		pn   *node
 		ptok locks.Token
@@ -426,38 +439,38 @@ restart:
 	level := 0
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	for {
 		if checkPrefix(n, k, level) < n.prefixLen {
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return false
 		}
 		pos := level + n.prefixLen
 		if pos >= 8 {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		b := keyByte(k, pos)
 		r := n.findChild(b)
 		if r.empty() {
 			if !n.lock.ReleaseSh(c, tok) {
-				goto restart
+				goto retry
 			}
 			return false
 		}
 		if r.l != nil {
 			if r.l.key != k {
 				if !n.lock.ReleaseSh(c, tok) {
-					goto restart
+					goto retry
 				}
 				return false
 			}
 			if t.scheme.Optimistic {
 				if !n.lock.Upgrade(c, &tok) {
-					goto restart
+					goto retry
 				}
 				n.removeChild(b)
 				t.size.Add(-1)
@@ -472,16 +485,16 @@ restart:
 			if done {
 				return removed
 			}
-			goto restart
+			goto retry
 		}
 		child := r.n
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		pn, ptok, pb = n, tok, b
 		n, tok = child, ctok

@@ -11,6 +11,7 @@ import (
 	"optiql/internal/core"
 	"optiql/internal/hist"
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
 
@@ -78,6 +79,15 @@ type IndexConfig struct {
 	ARTExpandThreshold  uint32
 	ARTSampleInverse    uint32
 	ARTDisableExpansion bool
+	// SampleEvery is the throughput-timeline sampling interval
+	// (DefaultSampleEvery when zero; negative disables the timeline).
+	SampleEvery time.Duration
+	// DisableObs turns event counting off for the run — the control arm
+	// of the overhead A/B benchmark; leave it false in normal use.
+	DisableObs bool
+	// Live, when set, is pointed at this run's counters and operation
+	// total so an HTTP endpoint can serve them while the run is hot.
+	Live *obs.LiveSource `json:"-"`
 }
 
 func (c *IndexConfig) normalize() error {
@@ -108,6 +118,9 @@ func (c *IndexConfig) normalize() error {
 	if c.ScanLen == 0 {
 		c.ScanLen = 16
 	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
 	return c.Mix.Validate()
 }
 
@@ -131,16 +144,31 @@ type IndexResult struct {
 	Ops     uint64
 	// PerOp counts completed operations by kind (hits and misses).
 	PerOp [5]uint64
+	// PerOpMiss counts, per kind, the operations that did not find
+	// their key (failed lookups/updates/deletes, inserts that fell back
+	// to overwriting an existing key, scans returning nothing), so hit
+	// rates are visible instead of conflated into PerOp.
+	PerOpMiss [5]uint64
 	// Hist is the sampled operation latency distribution (nil unless
 	// Config.Latency).
 	Hist *hist.Histogram
 	// Expansions reports ART contention expansions during the run.
 	Expansions int
+	// Obs is the merged event-counter snapshot (nil when counting was
+	// disabled).
+	Obs *obs.Snapshot
+	// Timeline is the per-interval throughput series (nil when sampling
+	// was disabled).
+	Timeline *Timeline
 }
 
-// Mops returns throughput in million operations per second.
+// Mops returns throughput in million operations per second (0 for an
+// empty or unmeasured run rather than NaN/Inf).
 func (r IndexResult) Mops() float64 {
-	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+	if s := r.Elapsed.Seconds(); s > 0 {
+		return float64(r.Ops) / s / 1e6
+	}
+	return 0
 }
 
 // BuildIndex creates and preloads the index for cfg, returning it with
@@ -225,11 +253,23 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 	}
 
 	type workerRes struct {
-		ops   uint64
-		perOp [5]uint64
-		h     hist.Histogram
+		ops       uint64
+		perOp     [5]uint64
+		perOpMiss [5]uint64
+		h         hist.Histogram
 	}
 	results := make([]workerRes, cfg.Threads)
+
+	// A nil registry hands out nil (disabled) counter sets, so the
+	// workers need no enabled/disabled branches.
+	var reg *obs.Registry
+	if !cfg.DisableObs {
+		reg = obs.NewRegistry()
+	}
+	smp := newSampler(cfg.Threads, cfg.SampleEvery)
+	if cfg.Live != nil {
+		cfg.Live.Set(reg.Snapshot, smp.total)
+	}
 
 	var (
 		stop    atomic.Bool
@@ -247,9 +287,11 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 			defer done.Done()
 			c := locks.NewCtx(pool, 8)
 			defer c.Close()
+			c.SetCounters(reg.NewCounters())
 			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
 			insertSeq := uint64(cfg.Records) + uint64(w)<<40
 			res := &results[w]
+			cell := smp.cell(w)
 			started.Done()
 			<-begin
 			for !stop.Load() {
@@ -260,36 +302,43 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 				if sample {
 					t0 = time.Now()
 				}
+				hit := true
 				switch op {
 				case workload.OpLookup:
-					idx.Lookup(c, k)
+					_, hit = idx.Lookup(c, k)
 				case workload.OpUpdate:
-					idx.Update(c, k, rng.Uint64())
+					hit = idx.Update(c, k, rng.Uint64())
 				case workload.OpInsert:
 					insertSeq++
-					idx.Insert(c, cfg.KeySpace.Key(insertSeq), insertSeq)
+					hit = idx.Insert(c, cfg.KeySpace.Key(insertSeq), insertSeq)
 				case workload.OpDelete:
-					idx.Delete(c, k)
+					hit = idx.Delete(c, k)
 				case workload.OpScan:
-					idx.Scan(c, k, cfg.ScanLen)
+					hit = idx.Scan(c, k, cfg.ScanLen) > 0
 				}
 				if sample {
 					res.h.Record(uint64(time.Since(t0)))
 				}
 				res.perOp[op]++
+				if !hit {
+					res.perOpMiss[op]++
+				}
 				res.ops++
+				cell.n.Add(1)
 			}
 		}()
 	}
 	started.Wait()
 	start := time.Now()
 	close(begin)
+	smp.start()
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	done.Wait()
 	elapsed := time.Since(start)
+	timeline := smp.finish()
 
-	out := IndexResult{Config: cfg, Elapsed: elapsed}
+	out := IndexResult{Config: cfg, Elapsed: elapsed, Timeline: timeline}
 	if cfg.Latency {
 		out.Hist = new(hist.Histogram)
 	}
@@ -297,6 +346,7 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 		out.Ops += results[i].ops
 		for k := 0; k < 5; k++ {
 			out.PerOp[k] += results[i].perOp[k]
+			out.PerOpMiss[k] += results[i].perOpMiss[k]
 		}
 		if out.Hist != nil {
 			out.Hist.Merge(&results[i].h)
@@ -304,6 +354,10 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 	}
 	if a, ok := idx.(artIndex); ok {
 		out.Expansions = a.t.Expansions()
+	}
+	if reg != nil {
+		s := reg.Snapshot()
+		out.Obs = &s
 	}
 	return out, nil
 }

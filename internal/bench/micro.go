@@ -16,6 +16,7 @@ import (
 
 	"optiql/internal/core"
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
 
@@ -70,6 +71,9 @@ type MicroConfig struct {
 	// writer queue standing, which is the regime Table 1 measures; see
 	// EXPERIMENTS.md.
 	Split bool
+	// DisableObs turns event counting off for the run (the control arm
+	// of the overhead A/B benchmark).
+	DisableObs bool
 }
 
 func (c *MicroConfig) normalize() error {
@@ -109,11 +113,18 @@ type MicroResult struct {
 	// supporting the fairness analysis of Section 1.1 ("lucky" threads
 	// under backoff acquire the lock ~3x more often than others).
 	PerThreadOps []uint64
+	// Obs is the merged event-counter snapshot (nil when counting was
+	// disabled).
+	Obs *obs.Snapshot
 }
 
-// Mops returns throughput in million operations per second.
+// Mops returns throughput in million operations per second (0 for an
+// empty or unmeasured run rather than NaN/Inf).
 func (r MicroResult) Mops() float64 {
-	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+	if s := r.Elapsed.Seconds(); s > 0 {
+		return float64(r.Ops) / s / 1e6
+	}
+	return 0
 }
 
 // ReadSuccessRate returns validated reads over read attempts (1.0 when
@@ -159,6 +170,11 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 	}
 	pool := core.NewPool(min(core.MaxQNodes, cfg.Threads*4))
 
+	var reg *obs.Registry
+	if !cfg.DisableObs {
+		reg = obs.NewRegistry()
+	}
+
 	var (
 		stop    atomic.Bool
 		started sync.WaitGroup
@@ -174,6 +190,7 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 			defer done.Done()
 			c := locks.NewCtx(pool, 4)
 			defer c.Close()
+			c.SetCounters(reg.NewCounters())
 			rng := workload.NewRNG(uint64(w) + 1)
 			// In split mode the first readerThreads workers only read.
 			readerThread := cfg.Split && w < cfg.Threads*cfg.ReadPct/100
@@ -243,6 +260,10 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 		total.Reads += r.Reads
 		total.ReadAttempts += r.ReadAttempts
 		total.PerThreadOps = append(total.PerThreadOps, r.Ops)
+	}
+	if reg != nil {
+		s := reg.Snapshot()
+		total.Obs = &s
 	}
 	return total, nil
 }

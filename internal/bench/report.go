@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"time"
+
+	"optiql/internal/hist"
+	"optiql/internal/obs"
+)
+
+// latencyReport converts a merged histogram for a JSON run report.
+func latencyReport(h *hist.Histogram) *obs.LatencyReport {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	pcts := make(map[string]uint64, len(hist.StandardPercentiles))
+	snap := h.Snapshot()
+	for i, label := range hist.PercentileLabels {
+		pcts[label] = snap[i]
+	}
+	var buckets []obs.BucketReport
+	for _, b := range h.Buckets() {
+		buckets = append(buckets, obs.BucketReport{UpperNs: b.Upper, Count: b.Count})
+	}
+	return &obs.LatencyReport{
+		Count:       h.Count(),
+		MinNs:       h.Min(),
+		MaxNs:       h.Max(),
+		MeanNs:      h.Mean(),
+		Percentiles: pcts,
+		Buckets:     buckets,
+	}
+}
+
+// Report converts an index run into the machine-readable run report
+// emitted by the cmd front-ends' -json flag.
+func (r IndexResult) Report(tool string) *obs.Report {
+	rep := &obs.Report{
+		Tool:           tool,
+		Timestamp:      time.Now(),
+		Host:           obs.CurrentHost(),
+		Config:         r.Config,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Ops:            r.Ops,
+		Mops:           r.Mops(),
+		Timeline:       r.Timeline.Report(),
+		Latency:        latencyReport(r.Hist),
+		Extra: map[string]any{
+			"per_op":      r.PerOp,
+			"per_op_miss": r.PerOpMiss,
+			"expansions":  r.Expansions,
+		},
+	}
+	if r.Obs != nil {
+		rep.Counters = r.Obs.Map()
+	}
+	return rep
+}
+
+// Report converts a microbenchmark run into a machine-readable run
+// report.
+func (r MicroResult) Report(tool string) *obs.Report {
+	rep := &obs.Report{
+		Tool:           tool,
+		Timestamp:      time.Now(),
+		Host:           obs.CurrentHost(),
+		Config:         r.Config,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Ops:            r.Ops,
+		Mops:           r.Mops(),
+		Extra: map[string]any{
+			"writes":            r.Writes,
+			"reads":             r.Reads,
+			"read_attempts":     r.ReadAttempts,
+			"read_success_rate": r.ReadSuccessRate(),
+			"fairness_ratio":    r.FairnessRatio(),
+			"per_thread_ops":    r.PerThreadOps,
+		},
+	}
+	if r.Obs != nil {
+		rep.Counters = r.Obs.Map()
+	}
+	return rep
+}

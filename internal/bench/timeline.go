@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/obs"
+)
+
+// DefaultSampleEvery is the timeline sampling interval used when a
+// config leaves SampleEvery zero: 100ms ticks, fine enough to expose
+// the second-scale throughput collapses of the paper's Figure 9.
+const DefaultSampleEvery = 100 * time.Millisecond
+
+// opsCell is one worker's completed-operation counter, padded so
+// adjacent workers never share a cache line. Workers add with plain
+// uncontended atomics; the sampler and the live endpoint read
+// concurrently.
+type opsCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Timeline is the per-interval throughput series of one run.
+type Timeline struct {
+	// Interval is the sampling tick.
+	Interval time.Duration
+	// Ops is the number of operations completed in each elapsed
+	// interval, in order.
+	Ops []uint64
+}
+
+// Stats returns the min, mean and standard deviation of the
+// per-interval throughput in Mops. A run that collapses under a
+// standing writer queue shows up as a low min and high stddev even
+// when the run-wide average looks healthy.
+func (tl *Timeline) Stats() (min, avg, stddev float64) {
+	if tl == nil || len(tl.Ops) == 0 || tl.Interval <= 0 {
+		return 0, 0, 0
+	}
+	scale := 1 / tl.Interval.Seconds() / 1e6
+	min = math.Inf(1)
+	for _, n := range tl.Ops {
+		m := float64(n) * scale
+		if m < min {
+			min = m
+		}
+		avg += m
+	}
+	avg /= float64(len(tl.Ops))
+	var ss float64
+	for _, n := range tl.Ops {
+		d := float64(n)*scale - avg
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(len(tl.Ops)))
+	return min, avg, stddev
+}
+
+// Report converts the timeline for a JSON run report (nil if empty).
+func (tl *Timeline) Report() *obs.TimelineReport {
+	if tl == nil || len(tl.Ops) == 0 {
+		return nil
+	}
+	min, avg, stddev := tl.Stats()
+	return &obs.TimelineReport{
+		IntervalSeconds: tl.Interval.Seconds(),
+		OpsPerInterval:  append([]uint64(nil), tl.Ops...),
+		MopsMin:         min,
+		MopsAvg:         avg,
+		MopsStddev:      stddev,
+	}
+}
+
+// sampler owns the per-worker ops cells and, once started, appends one
+// interval delta per tick until stopped.
+type sampler struct {
+	cells    []opsCell
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	tl       *Timeline
+}
+
+// newSampler allocates cells for `workers` workers. interval <= 0
+// disables ticking (cells still count, for live readers).
+func newSampler(workers int, interval time.Duration) *sampler {
+	return &sampler{
+		cells:    make([]opsCell, workers),
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// cell returns worker w's counter.
+func (s *sampler) cell(w int) *opsCell { return &s.cells[w] }
+
+// total sums all cells (a consistent monotonic sample).
+func (s *sampler) total() uint64 {
+	var t uint64
+	for i := range s.cells {
+		t += s.cells[i].n.Load()
+	}
+	return t
+}
+
+// start launches the tick goroutine; no-op when ticking is disabled.
+func (s *sampler) start() {
+	if s.interval <= 0 {
+		close(s.done)
+		return
+	}
+	s.tl = &Timeline{Interval: s.interval}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		var last uint64
+		for {
+			select {
+			case <-tick.C:
+				now := s.total()
+				s.tl.Ops = append(s.tl.Ops, now-last)
+				last = now
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// finish stops ticking and returns the collected timeline (nil when
+// ticking was disabled).
+func (s *sampler) finish() *Timeline {
+	close(s.stop)
+	<-s.done
+	return s.tl
+}

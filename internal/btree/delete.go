@@ -1,6 +1,9 @@
 package btree
 
-import "optiql/internal/locks"
+import (
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
 
 // minFill is the underflow threshold: a leaf (or inner node) holding
 // fewer than fanout/minFillDiv keys after a delete is rebalanced by
@@ -21,13 +24,16 @@ func (t *Tree) minKeys() int {
 // the key, and rebalances bottom-up (borrow from a sibling when it has
 // spare keys, merge otherwise). Returns whether the key was present.
 func (t *Tree) deletePessimistic(c *locks.Ctx, k uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	tok := n.lock.AcquireEx(c)
 	n.lock.CloseWindow(tok)
 	if n != t.root.Load() {
 		n.lock.ReleaseEx(c, tok)
-		goto restart
+		goto retry
 	}
 	stack := make([]held, 0, 8)
 	childIdx := make([]int, 0, 8) // childIdx[i] = slot taken out of stack[i].n
@@ -120,6 +126,7 @@ func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged 
 			return false
 		}
 		t.mergeRightInto(parent, slot, n, sib)
+		c.Counters().Inc(obs.EvBTreeMerge)
 		return true
 	}
 	if slot > 0 {
@@ -143,6 +150,7 @@ func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged 
 		// Merge n into its left sibling: same as merging "right into
 		// left" with roles shifted one slot.
 		t.mergeRightInto(parent, slot-1, sib, n)
+		c.Counters().Inc(obs.EvBTreeMerge)
 		return true
 	}
 	// Root child with no siblings: nothing to do.

@@ -1,6 +1,9 @@
 package btree
 
-import "optiql/internal/locks"
+import (
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
 
 // Lookup returns the value stored under k. The traversal is optimistic
 // lock coupling: each node's version is validated after the child has
@@ -9,30 +12,36 @@ import "optiql/internal/locks"
 // to shared lock coupling (acquisitions block, validation always
 // passes).
 func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
-restart:
+	// The first attempt enters at first; every failed validation or
+	// structural recheck jumps to retry, which counts the restart and
+	// falls through — so the happy path costs nothing.
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	if n != t.root.Load() {
 		n.lock.ReleaseSh(c, tok)
-		goto restart
+		goto retry
 	}
 	for !n.leaf {
 		child := n.children[n.childIndex(k)]
 		if child == nil {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
 			// Optimistic only: nothing is held, so just retry.
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 	}
@@ -42,7 +51,7 @@ restart:
 		v = n.values[i]
 	}
 	if !n.lock.ReleaseSh(c, tok) {
-		goto restart
+		goto retry
 	}
 	return v, found
 }
@@ -64,7 +73,10 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	}
 	resume := start
 	tmp := make([]KV, 0, 16)
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	if len(out) >= max {
 		return out
 	}
@@ -72,25 +84,25 @@ restart:
 	n := t.root.Load()
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	if n != t.root.Load() {
 		n.lock.ReleaseSh(c, tok)
-		goto restart
+		goto retry
 	}
 	for !n.leaf {
 		child := n.children[n.childIndex(resume)]
 		if child == nil {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 	}
@@ -108,7 +120,7 @@ restart:
 			ntok, nok = nxt.lock.AcquireSh(c)
 			if !nok {
 				n.lock.ReleaseSh(c, tok)
-				goto restart
+				goto retry
 			}
 		} else {
 			nxt = nil
@@ -117,7 +129,7 @@ restart:
 			if nxt != nil {
 				nxt.lock.ReleaseSh(c, ntok)
 			}
-			goto restart
+			goto retry
 		}
 		// This leaf's batch is now validated: commit it.
 		out = append(out, tmp...)

@@ -1,6 +1,9 @@
 package btree
 
-import "optiql/internal/locks"
+import (
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
 
 // Update sets the value of an existing key, returning whether the key
 // was found. It implements Algorithm 4: optimistic traversal, then the
@@ -9,14 +12,19 @@ import "optiql/internal/locks"
 // Under the AOR scheme the opportunistic read window stays open through
 // the leaf search and closes just before the value write.
 func (t *Tree) Update(c *locks.Ctx, k, v uint64) bool {
-restart:
+	// retry counts a restart before re-entering; the first attempt
+	// skips it (same pattern throughout the traversals).
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	if n.leaf {
 		// Single-node tree: lock the root leaf directly.
 		wtok := n.lock.AcquireEx(c)
 		if n != t.root.Load() {
 			n.lock.ReleaseEx(c, wtok)
-			goto restart
+			goto retry
 		}
 		ok := t.updateLocked(n, wtok, k, v)
 		n.lock.ReleaseEx(c, wtok)
@@ -24,17 +32,17 @@ restart:
 	}
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	if n != t.root.Load() {
 		n.lock.ReleaseSh(c, tok)
-		goto restart
+		goto retry
 	}
 	for {
 		child := n.children[n.childIndex(k)]
 		if child == nil {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		if child.leaf {
 			// Lock the leaf directly (Alg 4 line 17), then validate
@@ -42,7 +50,7 @@ restart:
 			wtok := child.lock.AcquireEx(c)
 			if !n.lock.ReleaseSh(c, tok) {
 				child.lock.ReleaseEx(c, wtok)
-				goto restart
+				goto retry
 			}
 			ok := t.updateLocked(child, wtok, k, v)
 			child.lock.ReleaseEx(c, wtok)
@@ -50,11 +58,11 @@ restart:
 		}
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 	}
@@ -78,13 +86,16 @@ func (t *Tree) updateLocked(n *node, wtok locks.Token, k, v uint64) bool {
 // in pessimistic mode, exclusively coupling down the tree and splitting
 // bottom-up.
 func (t *Tree) Insert(c *locks.Ctx, k, v uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	if n.leaf {
 		wtok := n.lock.AcquireEx(c)
 		if n != t.root.Load() {
 			n.lock.ReleaseEx(c, wtok)
-			goto restart
+			goto retry
 		}
 		if n.full() {
 			if _, found := n.leafFind(k); !found {
@@ -99,23 +110,23 @@ restart:
 	}
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	if n != t.root.Load() {
 		n.lock.ReleaseSh(c, tok)
-		goto restart
+		goto retry
 	}
 	for {
 		child := n.children[n.childIndex(k)]
 		if child == nil {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		if child.leaf {
 			wtok := child.lock.AcquireEx(c)
 			if !n.lock.ReleaseSh(c, tok) {
 				child.lock.ReleaseEx(c, wtok)
-				goto restart
+				goto retry
 			}
 			if child.full() {
 				if _, found := child.leafFind(k); !found {
@@ -131,11 +142,11 @@ restart:
 		}
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 	}
@@ -171,12 +182,15 @@ type held struct {
 // the classic SMO path of pessimistic lock coupling, used by all
 // schemes once the optimistic fast path has detected a full leaf.
 func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	tok := n.lock.AcquireEx(c)
 	if n != t.root.Load() {
 		n.lock.ReleaseEx(c, tok)
-		goto restart
+		goto retry
 	}
 	stack := make([]held, 0, 8)
 	stack = append(stack, held{n, tok})
@@ -228,6 +242,7 @@ func (t *Tree) insertAndSplit(c *locks.Ctx, stack []held, k, v uint64) {
 	// sibling is published anywhere (sibling pointer or parent slot),
 	// so no traversal can observe the sibling mid-modification.
 	sep, right := t.splitLeaf(leaf)
+	c.Counters().Inc(obs.EvBTreeSplit)
 	if k >= sep {
 		t.insertIntoLeaf(right, k, v)
 	} else {
@@ -261,6 +276,7 @@ func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, r
 		return
 	}
 	psep, pright := t.splitInner(parent)
+	c.Counters().Inc(obs.EvBTreeSplit)
 	if sep >= psep {
 		t.insertIntoInner(pright, sep, right)
 	} else {
@@ -320,13 +336,16 @@ func (t *Tree) insertIntoInner(n *node, sep uint64, right *node) {
 // would underflow the leaf, the operation restarts pessimistically and
 // rebalances by borrowing from or merging with a sibling (delete.go).
 func (t *Tree) Delete(c *locks.Ctx, k uint64) bool {
-restart:
+	goto first
+retry:
+	c.Counters().Inc(obs.EvOpRestart)
+first:
 	n := t.root.Load()
 	if n.leaf {
 		wtok := n.lock.AcquireEx(c)
 		if n != t.root.Load() {
 			n.lock.ReleaseEx(c, wtok)
-			goto restart
+			goto retry
 		}
 		ok := t.deleteLocked(n, wtok, k)
 		n.lock.ReleaseEx(c, wtok)
@@ -334,23 +353,23 @@ restart:
 	}
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
-		goto restart
+		goto retry
 	}
 	if n != t.root.Load() {
 		n.lock.ReleaseSh(c, tok)
-		goto restart
+		goto retry
 	}
 	for {
 		child := n.children[n.childIndex(k)]
 		if child == nil {
 			n.lock.ReleaseSh(c, tok)
-			goto restart
+			goto retry
 		}
 		if child.leaf {
 			wtok := child.lock.AcquireEx(c)
 			if !n.lock.ReleaseSh(c, tok) {
 				child.lock.ReleaseEx(c, wtok)
-				goto restart
+				goto retry
 			}
 			if _, found := child.leafFind(k); found && child.count-1 < t.minKeys() {
 				// Removal would underflow the leaf: rebalance through
@@ -364,11 +383,11 @@ restart:
 		}
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
-			goto restart
+			goto retry
 		}
 		if !n.lock.ReleaseSh(c, tok) {
 			child.lock.ReleaseSh(c, ctok)
-			goto restart
+			goto retry
 		}
 		n, tok = child, ctok
 	}

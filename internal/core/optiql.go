@@ -75,20 +75,29 @@ func (l *OptiQL) ReleaseSh(v uint64) bool {
 // opportunistic read window is closed and the caller may modify the
 // protected data. qnode must come from the pool shared by all users of
 // this lock and must not be in use.
-func (l *OptiQL) AcquireEx(qnode *QNode) {
+//
+// The returned handover flag reports whether the grant arrived via
+// queue handover (after local spinning behind a predecessor) rather
+// than by taking the free lock directly. It is already computed by the
+// acquire protocol, so exposing it adds no work to the path; the
+// observability layer splits its exclusive-acquire counters on it.
+func (l *OptiQL) AcquireEx(qnode *QNode) (handover bool) {
 	if l.acquireQueue(qnode) {
 		// Lock granted via handover: close the opportunistic read
 		// window and clear the stale version bits (line 11).
 		l.word.And(^(OpReadBit | VersionMask))
+		return true
 	}
+	return false
 }
 
 // AcquireExAOR is the "adjustable opportunistic read" variant (Section
 // 5.3): it acquires the lock but leaves the opportunistic read window
 // open, admitting readers until the caller invokes CloseWindow. The
 // caller MUST call CloseWindow before modifying the protected data.
-func (l *OptiQL) AcquireExAOR(qnode *QNode) {
-	l.acquireQueue(qnode)
+// The handover flag is as for AcquireEx.
+func (l *OptiQL) AcquireExAOR(qnode *QNode) (handover bool) {
+	return l.acquireQueue(qnode)
 }
 
 // CloseWindow closes the opportunistic read window left open by

@@ -1,0 +1,99 @@
+package hist
+
+import "testing"
+
+// TestMergeEmptyCases covers the Merge edge cases: empty into empty,
+// empty into populated (no-op, min untouched), and populated into
+// empty (full adoption including min/max).
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Histogram
+	a.Merge(&b)
+	if a.Count() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatalf("empty+empty = count %d min %d max %d", a.Count(), a.Min(), a.Max())
+	}
+
+	a.Record(100)
+	a.Record(200)
+	a.Merge(&b) // empty other must not disturb min (b.min is 0)
+	if a.Count() != 2 || a.Min() != 100 || a.Max() != 200 {
+		t.Fatalf("populated+empty = count %d min %d max %d", a.Count(), a.Min(), a.Max())
+	}
+
+	var c Histogram
+	c.Merge(&a) // empty receiver must adopt other's min, not keep 0
+	if c.Count() != 2 || c.Min() != 100 || c.Max() != 200 {
+		t.Fatalf("empty+populated = count %d min %d max %d", c.Count(), c.Min(), c.Max())
+	}
+}
+
+// TestPercentileBoundaries pins the quantile behaviour at the 0 and 1
+// (100%) boundaries and just inside them.
+func TestPercentileBoundaries(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	// p=0 clamps the rank to the first observation: the min.
+	if got := h.Percentile(0); got != h.Min() {
+		t.Fatalf("Percentile(0) = %d, want min %d", got, h.Min())
+	}
+	// p=100 (and beyond) is exactly the max, not a bucket bound.
+	if got := h.Percentile(100); got != 1000 {
+		t.Fatalf("Percentile(100) = %d, want 1000", got)
+	}
+	if got := h.Percentile(200); got != 1000 {
+		t.Fatalf("Percentile(200) = %d, want 1000", got)
+	}
+	// A tiny positive p still lands on the first observation.
+	if got := h.Percentile(0.001); got != h.Min() {
+		t.Fatalf("Percentile(0.001) = %d, want min %d", got, h.Min())
+	}
+	// Percentiles can never escape the observed [min, max] range even
+	// when the bucket bound would (single wide bucket).
+	var w Histogram
+	w.Record(1 << 40)
+	for _, p := range []float64{0, 50, 99.999, 100} {
+		if got := w.Percentile(p); got != 1<<40 {
+			t.Fatalf("single-value Percentile(%v) = %d, want %d", p, got, uint64(1)<<40)
+		}
+	}
+}
+
+// TestBucketsAccessor checks the exported raw-distribution view against
+// a known recording.
+func TestBucketsAccessor(t *testing.T) {
+	var h Histogram
+	if h.Buckets() != nil {
+		t.Fatal("empty histogram must have no buckets")
+	}
+	h.Record(3)
+	h.Record(3)
+	h.Record(7)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(bs))
+	}
+	// Values below subBuckets are exact unit buckets.
+	if bs[0].Upper != 3 || bs[0].Count != 2 || bs[1].Upper != 7 || bs[1].Count != 1 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	// Ascending order and count conservation on a spread recording.
+	var w Histogram
+	total := uint64(0)
+	for v := uint64(1); v < 1<<20; v = v*3 + 1 {
+		w.Record(v)
+		total++
+	}
+	var sum uint64
+	prev := uint64(0)
+	for i, b := range w.Buckets() {
+		if i > 0 && b.Upper <= prev {
+			t.Fatalf("bucket %d upper %d not ascending (prev %d)", i, b.Upper, prev)
+		}
+		prev = b.Upper
+		sum += b.Count
+	}
+	if sum != total {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, total)
+	}
+}

@@ -132,6 +132,26 @@ func (h *Histogram) Mean() float64 {
 	return sum / float64(h.total)
 }
 
+// Bucket is one non-empty histogram bucket: the bucket's
+// representative upper bound and its observation count.
+type Bucket struct {
+	Upper uint64
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order —
+// the raw distribution, enough to re-plot or re-aggregate it outside
+// the process (the JSON run reports embed exactly this).
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
 // StandardPercentiles are the columns of the paper's Figure 12.
 var StandardPercentiles = []float64{0, 50, 90, 99, 99.9, 99.99, 99.999}
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // OptLockBackoff is the centralized optimistic lock with truncated
@@ -25,23 +26,32 @@ const (
 )
 
 // AcquireSh snapshots the word, as OptLock.
-func (l *OptLockBackoff) AcquireSh(_ *Ctx) (Token, bool) {
+func (l *OptLockBackoff) AcquireSh(c *Ctx) (Token, bool) {
 	v := l.word.Load()
-	return Token{Version: v}, v&optLockedBit == 0
+	ok := v&optLockedBit == 0
+	if !ok {
+		c.Counters().Inc(obs.EvShAcquireFail)
+	}
+	return Token{Version: v}, ok
 }
 
 // ReleaseSh validates the snapshot.
-func (l *OptLockBackoff) ReleaseSh(_ *Ctx, t Token) bool {
-	return l.word.Load() == t.Version
+func (l *OptLockBackoff) ReleaseSh(c *Ctx, t Token) bool {
+	ok := l.word.Load() == t.Version
+	if !ok {
+		c.Counters().Inc(obs.EvShValidateFail)
+	}
+	return ok
 }
 
 // AcquireEx spins with truncated exponential backoff between attempts.
-func (l *OptLockBackoff) AcquireEx(_ *Ctx) Token {
+func (l *OptLockBackoff) AcquireEx(c *Ctx) Token {
 	limit := backoffMin
 	var s core.Spinner
 	for {
 		v := l.word.Load()
 		if v&optLockedBit == 0 && l.word.CompareAndSwap(v, v|optLockedBit) {
+			c.Counters().Inc(obs.EvExFree)
 			return Token{Version: v}
 		}
 		// Back off for a pseudo-random delay under the current limit,
@@ -69,11 +79,13 @@ func (l *OptLockBackoff) ReleaseEx(_ *Ctx, _ Token) {
 }
 
 // Upgrade converts a validated read into an exclusive hold.
-func (l *OptLockBackoff) Upgrade(_ *Ctx, t *Token) bool {
-	if t.Version&optLockedBit != 0 {
-		return false
+func (l *OptLockBackoff) Upgrade(c *Ctx, t *Token) bool {
+	if t.Version&optLockedBit == 0 && l.word.CompareAndSwap(t.Version, t.Version|optLockedBit) {
+		c.Counters().Inc(obs.EvUpgradeOK)
+		return true
 	}
-	return l.word.CompareAndSwap(t.Version, t.Version|optLockedBit)
+	c.Counters().Inc(obs.EvUpgradeFail)
+	return false
 }
 
 // CloseWindow is a no-op.

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // clhNode is a CLH queue node: requesters spin on their *predecessor's*
@@ -53,6 +54,9 @@ func (l *CLH) AcquireEx(c *Ctx) Token {
 			s.Spin()
 		}
 		l.putNode(pred) // predecessor's node is now ours to recycle
+		c.Counters().Inc(obs.EvExHandover)
+	} else {
+		c.Counters().Inc(obs.EvExFree)
 	}
 	return Token{clh: n}
 }

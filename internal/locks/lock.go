@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // ctxSeq seeds each Ctx's private RNG distinctly.
@@ -81,7 +82,21 @@ type Ctx struct {
 	q    []*core.QNode
 	rw   []*rwNode
 	rng  uint64
+	// obs is this worker's event counter set; nil disables counting
+	// (obs.Counters methods are nil-safe no-ops). Lock adapters and the
+	// index substrates bump it — never internal/core, whose 8-byte word
+	// operations stay instrumentation-free by design.
+	obs *obs.Counters
 }
+
+// SetCounters attaches the worker's event counter set (nil disables
+// counting). Call it right after NewCtx, before the Ctx is used.
+func (c *Ctx) SetCounters(ctr *obs.Counters) { c.obs = ctr }
+
+// Counters returns the attached counter set; it may be nil, which all
+// obs.Counters methods treat as a disabled no-op set, so callers can
+// bump events unconditionally: c.Counters().Inc(obs.EvOpRestart).
+func (c *Ctx) Counters() *obs.Counters { return c.obs }
 
 // Rand returns the next value of a per-thread xorshift64* generator,
 // used for cheap probabilistic decisions on lock-protected paths (such

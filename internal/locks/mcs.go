@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // MCS is the Mellor-Crummey–Scott queue lock of Algorithm 1:
@@ -38,6 +39,9 @@ func (l *MCS) AcquireEx(c *Ctx) Token {
 		for n.granted.Load() == 0 {
 			s.Spin()
 		}
+		c.Counters().Inc(obs.EvExHandover)
+	} else {
+		c.Counters().Inc(obs.EvExFree)
 	}
 	return Token{rw: n}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 const (
@@ -106,12 +107,14 @@ func (l *MCSRW) AcquireEx(c *Ctx) Token {
 	prev := l.tail.Swap(n)
 	if prev == nil {
 		n.granted.Store(1)
+		c.Counters().Inc(obs.EvExFree)
 	} else {
 		prev.next.Store(n)
 		var s core.Spinner
 		for n.granted.Load() == 0 {
 			s.Spin()
 		}
+		c.Counters().Inc(obs.EvExHandover)
 	}
 	return Token{rw: n}
 }

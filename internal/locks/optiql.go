@@ -1,6 +1,9 @@
 package locks
 
-import "optiql/internal/core"
+import (
+	"optiql/internal/core"
+	"optiql/internal/obs"
+)
 
 // orMode selects how an OptiQLLock drives the opportunistic read
 // window, covering the three variants evaluated in the paper.
@@ -43,24 +46,41 @@ func (l *OptiQLLock) Core() *core.OptiQL { return &l.l }
 
 // AcquireSh begins an optimistic read: one load, no shared-memory
 // writes, regardless of variant.
-func (l *OptiQLLock) AcquireSh(_ *Ctx) (Token, bool) {
+func (l *OptiQLLock) AcquireSh(c *Ctx) (Token, bool) {
 	v, ok := l.l.AcquireSh()
+	if !ok {
+		c.Counters().Inc(obs.EvShAcquireFail)
+	} else if v&core.StatusMask == core.LockedBit|core.OpReadBit {
+		// Admitted through an open opportunistic read window — a read
+		// only the OR/AOR protocol admits while a writer holds the lock.
+		c.Counters().Inc(obs.EvShOpportunistic)
+	}
 	return Token{Version: v}, ok
 }
 
 // ReleaseSh validates the optimistic read.
-func (l *OptiQLLock) ReleaseSh(_ *Ctx, t Token) bool {
-	return l.l.ReleaseSh(t.Version)
+func (l *OptiQLLock) ReleaseSh(c *Ctx, t Token) bool {
+	ok := l.l.ReleaseSh(t.Version)
+	if !ok {
+		c.Counters().Inc(obs.EvShValidateFail)
+	}
+	return ok
 }
 
 // AcquireEx joins the writer queue with a queue node drawn from the
 // Ctx and blocks until granted.
 func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
 	q := c.getQ()
+	var handover bool
 	if l.mode == orAdjustable {
-		l.l.AcquireExAOR(q)
+		handover = l.l.AcquireExAOR(q)
 	} else {
-		l.l.AcquireEx(q)
+		handover = l.l.AcquireEx(q)
+	}
+	if handover {
+		c.Counters().Inc(obs.EvExHandover)
+	} else {
+		c.Counters().Inc(obs.EvExFree)
 	}
 	return Token{q: q}
 }
@@ -89,9 +109,11 @@ func (l *OptiQLLock) Upgrade(c *Ctx, t *Token) bool {
 	q := c.getQ()
 	if !l.l.Upgrade(t.Version, q) {
 		c.putQ(q)
+		c.Counters().Inc(obs.EvUpgradeFail)
 		return false
 	}
 	t.q = q
+	c.Counters().Inc(obs.EvUpgradeOK)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // optLockedBit is the most significant bit of the OptLock word, exactly
@@ -27,24 +28,35 @@ func (l *OptLock) Word() uint64 { return l.word.Load() }
 
 // AcquireSh snapshots the word; the read may proceed iff the locked bit
 // is clear.
-func (l *OptLock) AcquireSh(_ *Ctx) (Token, bool) {
+func (l *OptLock) AcquireSh(c *Ctx) (Token, bool) {
 	v := l.word.Load()
-	return Token{Version: v}, v&optLockedBit == 0
+	ok := v&optLockedBit == 0
+	if !ok {
+		c.Counters().Inc(obs.EvShAcquireFail)
+	}
+	return Token{Version: v}, ok
 }
 
 // ReleaseSh validates that the word is unchanged since AcquireSh.
-func (l *OptLock) ReleaseSh(_ *Ctx, t Token) bool {
-	return l.word.Load() == t.Version
+func (l *OptLock) ReleaseSh(c *Ctx, t Token) bool {
+	ok := l.word.Load() == t.Version
+	if !ok {
+		c.Counters().Inc(obs.EvShValidateFail)
+	}
+	return ok
 }
 
 // AcquireEx spins until it CASes the locked bit on, TTS style: it only
 // attempts the CAS after observing an unlocked word, but under
 // contention many threads still retry the CAS on the same cacheline.
-func (l *OptLock) AcquireEx(_ *Ctx) Token {
+// Centralized locks have no handover path, so every grant counts as a
+// free-word acquisition.
+func (l *OptLock) AcquireEx(c *Ctx) Token {
 	var s core.Spinner
 	for {
 		v := l.word.Load()
 		if v&optLockedBit == 0 && l.word.CompareAndSwap(v, v|optLockedBit) {
+			c.Counters().Inc(obs.EvExFree)
 			return Token{Version: v}
 		}
 		s.Spin()
@@ -59,11 +71,13 @@ func (l *OptLock) ReleaseEx(_ *Ctx, _ Token) {
 
 // Upgrade converts a validated read into an exclusive hold by CASing
 // from the snapshot to the locked word, the standard OLC "upgrade".
-func (l *OptLock) Upgrade(_ *Ctx, t *Token) bool {
-	if t.Version&optLockedBit != 0 {
-		return false
+func (l *OptLock) Upgrade(c *Ctx, t *Token) bool {
+	if t.Version&optLockedBit == 0 && l.word.CompareAndSwap(t.Version, t.Version|optLockedBit) {
+		c.Counters().Inc(obs.EvUpgradeOK)
+		return true
 	}
-	return l.word.CompareAndSwap(t.Version, t.Version|optLockedBit)
+	c.Counters().Inc(obs.EvUpgradeFail)
+	return false
 }
 
 // CloseWindow is a no-op: centralized optimistic locks have no

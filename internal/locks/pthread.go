@@ -1,6 +1,10 @@
 package locks
 
-import "sync"
+import (
+	"sync"
+
+	"optiql/internal/obs"
+)
 
 // Pthread wraps the platform's blocking reader-writer lock
 // (sync.RWMutex), playing the role of pthread_rwlock_t in the paper's
@@ -22,9 +26,11 @@ func (l *Pthread) ReleaseSh(_ *Ctx, _ Token) bool {
 	return true
 }
 
-// AcquireEx blocks until the write lock is held.
-func (l *Pthread) AcquireEx(_ *Ctx) Token {
+// AcquireEx blocks until the write lock is held. The futex-backed lock
+// exposes no handover/free distinction, so every grant counts as free.
+func (l *Pthread) AcquireEx(c *Ctx) Token {
 	l.mu.Lock()
+	c.Counters().Inc(obs.EvExFree)
 	return Token{}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/core"
+	"optiql/internal/obs"
 )
 
 // TTS is the classic test-and-test-and-set spinlock of Figure 2(a):
@@ -24,11 +25,13 @@ func (l *TTS) ReleaseSh(_ *Ctx, _ Token) bool {
 }
 
 // AcquireEx spins until the lock is taken: test (plain load), then
-// test-and-set (CAS) only when the lock looks free.
-func (l *TTS) AcquireEx(_ *Ctx) Token {
+// test-and-set (CAS) only when the lock looks free. Centralized, so
+// every grant is a free-word acquisition.
+func (l *TTS) AcquireEx(c *Ctx) Token {
 	var s core.Spinner
 	for {
 		if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
+			c.Counters().Inc(obs.EvExFree)
 			return Token{}
 		}
 		s.Spin()

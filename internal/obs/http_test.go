@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounters()
+	c.Add(EvShValidateFail, 42)
+	c.Inc(EvExHandover)
+
+	var ops uint64 = 12345
+	src := &LiveSource{}
+	src.Set(reg.Snapshot, func() uint64 { return ops })
+
+	srv := httptest.NewServer(NewMux(src))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`optiql_lock_events_total{event="sh_validate_fail"} 42`,
+		`optiql_lock_events_total{event="ex_acquire_handover"} 1`,
+		`optiql_lock_events_total{event="op_restart"} 0`,
+		"optiql_ops_total 12345",
+		"# TYPE optiql_lock_events_total counter",
+		"# TYPE optiql_throughput_mops gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Counters keep accumulating between scrapes.
+	c.Add(EvShValidateFail, 8)
+	ops += 1000
+	_, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, `optiql_lock_events_total{event="sh_validate_fail"} 50`) {
+		t.Fatalf("second scrape did not see new counts:\n%s", body)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	src := &LiveSource{}
+	srv := httptest.NewServer(NewMux(src))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "optiql_counters") {
+		t.Fatalf("/debug/vars missing optiql_counters:\n%s", body)
+	}
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	src := &LiveSource{}
+	httpSrv, addr, err := Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := httpSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveSourceZeroValue(t *testing.T) {
+	// A LiveSource that was never Set must serve zeros, not panic.
+	src := &LiveSource{}
+	snap, ops, mops, _ := src.sample()
+	if snap.Total() != 0 || ops != 0 || mops != 0 {
+		t.Fatalf("zero-value source returned %v %d %f", snap, ops, mops)
+	}
+}

@@ -1,0 +1,230 @@
+// Package obs is the observability layer of the reproduction: typed
+// lock/index event counters, run snapshots, machine-readable JSON run
+// reports and a live HTTP endpoint (pprof, expvar, Prometheus-text
+// /metrics).
+//
+// The design follows the constraint of Section 4 of the paper — the
+// lock itself stays one 8-byte word and its acquire/release word
+// operations stay untouched — so all accounting happens one layer up:
+// the lock adapters in internal/locks and the index substrates bump
+// per-worker counters hanging off the worker's locks.Ctx. Counters are
+// allocation-free on the hot path and cache-line padded per worker, so
+// they are cheap enough to leave enabled in production runs (the A/B
+// benchmark in bench_test.go documents the overhead; see DESIGN.md).
+//
+// Each worker owns one *Counters obtained from a run's Registry; the
+// Registry merges all of them into an immutable Snapshot at run end, or
+// on demand while the run is live (the /metrics handler does exactly
+// that).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Event enumerates the counted lock and index events. The taxonomy
+// mirrors the paper's discussion: optimistic-read admission and
+// validation (Section 4.2), exclusive acquisition by free-word CAS vs.
+// queue handover (Algorithm 3), upgrades and contention expansion
+// (Section 6.2), and B+-tree structure modifications (Section 6.1).
+type Event uint8
+
+const (
+	// EvShAcquireFail counts optimistic shared acquires rejected up
+	// front: the lock was held with no opportunistic window open.
+	EvShAcquireFail Event = iota
+	// EvShValidateFail counts optimistic reads whose validation failed
+	// at release: a writer was granted the lock after the snapshot.
+	EvShValidateFail
+	// EvShOpportunistic counts shared acquires admitted through an open
+	// opportunistic read window (lock held, both status bits set) —
+	// reads that only the OptiQL OR/AOR protocol can admit.
+	EvShOpportunistic
+	// EvOpRestart counts index operations restarting from the top after
+	// a failed validation or structural recheck.
+	EvOpRestart
+	// EvExFree counts exclusive acquisitions that took a free lock
+	// directly (CAS/swap observed the lock unlocked).
+	EvExFree
+	// EvExHandover counts exclusive acquisitions granted by queue
+	// handover after local spinning (queue-based locks only).
+	EvExHandover
+	// EvUpgradeOK counts successful shared-to-exclusive upgrades.
+	EvUpgradeOK
+	// EvUpgradeFail counts failed upgrade attempts (stale snapshot or
+	// lock already held); the caller restarts.
+	EvUpgradeFail
+	// EvBTreeSplit counts B+-tree node splits (leaf and inner).
+	EvBTreeSplit
+	// EvBTreeMerge counts B+-tree node merges during delete rebalancing.
+	EvBTreeMerge
+	// EvARTExpand counts ART contention expansions (Section 6.2).
+	EvARTExpand
+
+	// NumEvents is the number of counter slots; it is NOT an event.
+	NumEvents
+)
+
+// eventNames are the stable identifiers used in JSON reports and as the
+// Prometheus "event" label; snake_case, unique, never renumbered.
+var eventNames = [NumEvents]string{
+	EvShAcquireFail:   "sh_acquire_fail",
+	EvShValidateFail:  "sh_validate_fail",
+	EvShOpportunistic: "sh_opportunistic_admit",
+	EvOpRestart:       "op_restart",
+	EvExFree:          "ex_acquire_free",
+	EvExHandover:      "ex_acquire_handover",
+	EvUpgradeOK:       "upgrade_ok",
+	EvUpgradeFail:     "upgrade_fail",
+	EvBTreeSplit:      "btree_split",
+	EvBTreeMerge:      "btree_merge",
+	EvARTExpand:       "art_expansion",
+}
+
+// Name returns the event's stable snake_case identifier.
+func (e Event) Name() string {
+	if e >= NumEvents {
+		return "unknown"
+	}
+	return eventNames[e]
+}
+
+// EventNames returns the identifiers of all events in declaration
+// order (the order Snapshot.Counts uses).
+func EventNames() []string {
+	out := make([]string, NumEvents)
+	copy(out, eventNames[:])
+	return out
+}
+
+// cacheLine is the assumed cache-line size for padding.
+const cacheLine = 64
+
+// countersSize rounds the counter array up to a whole number of cache
+// lines so adjacent workers' sets never share a line.
+const countersSize = (int(NumEvents)*8 + cacheLine - 1) / cacheLine * cacheLine
+
+// Counters is one worker's event counter set. The zero value is ready
+// to use; a nil *Counters is a valid "disabled" set whose methods do
+// nothing, so call sites need no enabled/disabled branches of their
+// own. Increment via atomics: each worker owns its set exclusively, so
+// the adds are uncontended single-cacheline operations, while the live
+// /metrics handler can read a consistent value concurrently.
+type Counters struct {
+	c [NumEvents]atomic.Uint64
+	_ [countersSize - int(NumEvents)*8]byte
+}
+
+// Inc adds one to the event's counter. Safe (and a no-op) on nil.
+func (c *Counters) Inc(e Event) {
+	if c != nil {
+		c.c[e].Add(1)
+	}
+}
+
+// Add adds n to the event's counter. Safe (and a no-op) on nil.
+func (c *Counters) Add(e Event, n uint64) {
+	if c != nil && n != 0 {
+		c.c[e].Add(n)
+	}
+}
+
+// Load returns the event's current count (0 on nil).
+func (c *Counters) Load(e Event) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.c[e].Load()
+}
+
+// Snapshot is an immutable merged view of one or more counter sets.
+type Snapshot struct {
+	Counts [NumEvents]uint64
+}
+
+// Get returns the merged count for e.
+func (s Snapshot) Get(e Event) uint64 {
+	if e >= NumEvents {
+		return 0
+	}
+	return s.Counts[e]
+}
+
+// Total returns the sum over all events.
+func (s Snapshot) Total() uint64 {
+	var t uint64
+	for _, n := range s.Counts {
+		t += n
+	}
+	return t
+}
+
+// Map returns the snapshot keyed by event name (all events, including
+// zero counts, so report columns stay stable across runs).
+func (s Snapshot) Map() map[string]uint64 {
+	m := make(map[string]uint64, NumEvents)
+	for e := Event(0); e < NumEvents; e++ {
+		m[e.Name()] = s.Counts[e]
+	}
+	return m
+}
+
+// add folds one worker's live counters into the snapshot.
+func (s *Snapshot) add(c *Counters) {
+	if c == nil {
+		return
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		s.Counts[e] += c.c[e].Load()
+	}
+}
+
+// Merge folds another snapshot into s.
+func (s *Snapshot) Merge(other Snapshot) {
+	for e := Event(0); e < NumEvents; e++ {
+		s.Counts[e] += other.Counts[e]
+	}
+}
+
+// Registry hands out per-worker counter sets and merges them. It is
+// safe for concurrent use; a nil *Registry hands out nil (disabled)
+// counter sets and empty snapshots, so callers can thread one pointer
+// through unconditionally.
+type Registry struct {
+	mu   sync.Mutex
+	sets []*Counters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewCounters allocates, registers and returns a fresh counter set for
+// one worker. On a nil registry it returns nil (a disabled set).
+func (r *Registry) NewCounters() *Counters {
+	if r == nil {
+		return nil
+	}
+	c := new(Counters)
+	r.mu.Lock()
+	r.sets = append(r.sets, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Snapshot merges every registered set. It may run concurrently with
+// workers still counting; each cell is read atomically, so the result
+// is a consistent monotonic sample (exact once workers have stopped).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	sets := r.sets
+	r.mu.Unlock()
+	for _, c := range sets {
+		s.add(c)
+	}
+	return s
+}
