@@ -6,6 +6,12 @@
 //
 //	indexbench -experiment fig9 -records 100000000 -threads 1,20,40,60,80 -duration 10s -runs 20
 //	indexbench -index art -scheme OptiQL -mix balanced -dist selfsimilar -sparse
+//
+// With -net it turns into a load generator for a running optiqld
+// server, driving the same mixes and distributions through pipelined
+// protocol connections (one per thread):
+//
+//	indexbench -net 127.0.0.1:4440 -threads 8 -mix balanced -duration 5s -json -
 package main
 
 import (
@@ -40,6 +46,10 @@ func main() {
 		jsonPath = flag.String("json", "", "write a machine-readable run report to this path (\"-\" = stdout); custom runs only")
 		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 		latency  = flag.Bool("latency", false, "collect sampled per-operation latencies")
+
+		netAddr   = flag.String("net", "", "drive a running optiqld server at this address instead of an in-process index")
+		pipeline  = flag.Int("pipeline", 32, "per-connection pipelining window for -net runs")
+		noPreload = flag.Bool("nopreload", false, "skip the -net preload phase (server already populated)")
 	)
 	flag.Parse()
 
@@ -75,6 +85,22 @@ func main() {
 	ks := workload.Dense
 	if *sparseK {
 		ks = workload.Sparse
+	}
+	if *netAddr != "" {
+		runNet(bench.NetConfig{
+			Addr:         *netAddr,
+			Conns:        ths[len(ths)-1],
+			Pipeline:     *pipeline,
+			Records:      *records,
+			SkipPreload:  *noPreload,
+			Distribution: *dist,
+			Skew:         *skew,
+			KeySpace:     ks,
+			Mix:          mix,
+			Duration:     *duration,
+			Latency:      *latency,
+		}, *jsonPath, *obsAddr, *mixName)
+		return
 	}
 	cfg := bench.IndexConfig{
 		Index:               *index,
@@ -126,6 +152,45 @@ func main() {
 		fmt.Printf("  lock events: %d validation failures, %d restarts, %d free / %d handover acquires\n",
 			res.Obs.Get(obs.EvShValidateFail), res.Obs.Get(obs.EvOpRestart),
 			res.Obs.Get(obs.EvExFree), res.Obs.Get(obs.EvExHandover))
+	}
+	if min, avg, stddev := res.Timeline.Stats(); avg > 0 {
+		fmt.Printf("  timeline: min %.3f / avg %.3f / stddev %.3f Mops over %d intervals\n",
+			min, avg, stddev, len(res.Timeline.Ops))
+	}
+}
+
+// runNet drives a remote optiqld server with the configured workload
+// and prints/writes the same shape of results as an in-process run.
+func runNet(cfg bench.NetConfig, jsonPath, obsAddr, mixName string) {
+	if obsAddr != "" {
+		src := &obs.LiveSource{}
+		cfg.Live = src
+		_, bound, err := obs.Serve(obsAddr, src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability endpoint on http://%s/metrics\n", bound)
+	}
+	res, err := bench.RunNet(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonPath != "" {
+		if err := res.Report("indexbench-net").WriteFile(jsonPath); err != nil {
+			fatal(err)
+		}
+		if jsonPath == "-" {
+			return
+		}
+	}
+	fmt.Printf("net=%s conns=%d pipeline=%d records=%d dist=%s keys=%s mix=%s\n",
+		cfg.Addr, cfg.Conns, cfg.Pipeline, cfg.Records, cfg.Distribution, cfg.KeySpace, mixName)
+	fmt.Printf("throughput: %.3f Mops (%d ops in %v, %d errors)\n",
+		res.Mops(), res.Ops, res.Elapsed.Round(time.Millisecond), res.Errors)
+	for op, n := range res.PerOp {
+		if n > 0 {
+			fmt.Printf("  %s: %d (%d misses)\n", workload.OpKind(op), n, res.PerOpMiss[op])
+		}
 	}
 	if min, avg, stddev := res.Timeline.Stats(); avg > 0 {
 		fmt.Printf("  timeline: min %.3f / avg %.3f / stddev %.3f Mops over %d intervals\n",

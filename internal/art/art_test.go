@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"optiql/internal/core"
+	"optiql/internal/indextest"
 	"optiql/internal/locks"
 )
 
@@ -328,6 +329,7 @@ func TestNoteContentionTriggersExpansion(t *testing.T) {
 // TestContentionExpansionUnderLoad drives concurrent updates on a
 // single hot sparse key and expects expansion to fire organically.
 func TestContentionExpansionUnderLoad(t *testing.T) {
+	indextest.SkipIfOptimisticRace(t, locks.MustByName("OptiQL"))
 	tr := MustNew(Config{
 		Scheme:          locks.MustByName("OptiQL"),
 		ExpandThreshold: 2,
@@ -369,6 +371,7 @@ func TestContentionExpansionUnderLoad(t *testing.T) {
 func TestConcurrentInsertDisjoint(t *testing.T) {
 	for _, scheme := range indexSchemes() {
 		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
 			tr, pool := newTree(t, scheme)
 			const goroutines, per = 8, 3000
 			var wg sync.WaitGroup
@@ -410,6 +413,7 @@ func TestConcurrentInsertDisjoint(t *testing.T) {
 func TestConcurrentMixed(t *testing.T) {
 	for _, scheme := range indexSchemes() {
 		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
 			tr, pool := newTree(t, scheme)
 			const goroutines, iters, keyspace = 8, 4000, 512
 			c0 := locks.NewCtx(pool, 8)

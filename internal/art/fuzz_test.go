@@ -1,0 +1,105 @@
+package art
+
+import (
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+)
+
+var fuzzSchemes = []string{"OptiQL", "OptLock", "OptiQL-AOR", "pthread"}
+
+// FuzzARTOps decodes the input as an op program — first byte picks a
+// scheme, then two bytes per operation — and replays it against the
+// tree and a map oracle. The op byte also selects between dense keys
+// (shared prefixes, exercising path compression and the node-kind
+// ladder) and sparse splitmix-spread keys (exercising lazy leaf
+// splits); mixing both in one run hits the remerge paths hardest.
+func FuzzARTOps(f *testing.F) {
+	// Dense cluster growth then targeted deletes.
+	f.Add([]byte{0, 0, 10, 0, 20, 0, 30, 0, 40, 4, 10, 4, 30, 8, 0})
+	// Sparse keys: inserts, overwrite, delete, lookups.
+	f.Add([]byte{1, 1, 5, 1, 5, 5, 5, 7, 9, 6, 5, 1, 6})
+	// Dense/sparse interleaving over the same small byte range.
+	f.Add([]byte{2, 0, 1, 1, 1, 0, 2, 1, 2, 4, 1, 5, 2, 10, 0, 11, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		scheme := locks.MustByName(fuzzSchemes[int(data[0])%len(fuzzSchemes)])
+		tr, err := New(Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := locks.NewCtx(core.NewPool(64), 8)
+		defer c.Close()
+		oracle := make(map[uint64]uint64)
+		for i := 1; i+1 < len(data); i += 2 {
+			op, kb := data[i], uint64(data[i+1])
+			// Even op groups use dense keys, odd groups sparse ones; both
+			// ultimately index the same 256-slot logical space.
+			k := kb
+			if (op/6)%2 == 1 {
+				k = sparse(kb)
+			}
+			v := uint64(i)
+			switch op % 6 {
+			case 0: // insert
+				_, had := oracle[k]
+				if got := tr.Insert(c, k, v); got != !had {
+					t.Fatalf("step %d: Insert(%#x) new=%v, oracle says %v", i, k, got, !had)
+				}
+				oracle[k] = v
+			case 1: // update
+				_, had := oracle[k]
+				if got := tr.Update(c, k, v); got != had {
+					t.Fatalf("step %d: Update(%#x) found=%v, oracle says %v", i, k, got, had)
+				}
+				if had {
+					oracle[k] = v
+				}
+			case 2: // delete
+				_, had := oracle[k]
+				if got := tr.Delete(c, k); got != had {
+					t.Fatalf("step %d: Delete(%#x) found=%v, oracle says %v", i, k, got, had)
+				}
+				delete(oracle, k)
+			case 3: // lookup
+				want, had := oracle[k]
+				got, ok := tr.Lookup(c, k)
+				if ok != had || (had && got != want) {
+					t.Fatalf("step %d: Lookup(%#x) = (%d, %v), oracle says (%d, %v)", i, k, got, ok, want, had)
+				}
+			case 4: // bounded scan from k
+				max := int(kb%17) + 1
+				out := tr.Scan(c, k, max, nil)
+				if len(out) > max {
+					t.Fatalf("step %d: scan(%#x, %d) returned %d pairs", i, k, max, len(out))
+				}
+				for j, kv := range out {
+					if kv.Key < k || (j > 0 && kv.Key <= out[j-1].Key) {
+						t.Fatalf("step %d: scan unsorted or out of range at %d", i, j)
+					}
+					if want, ok := oracle[kv.Key]; !ok || want != kv.Value {
+						t.Fatalf("step %d: scan pair (%#x, %d), oracle says (%d, %v)", i, kv.Key, kv.Value, want, ok)
+					}
+				}
+			case 5: // len check
+				if tr.Len() != len(oracle) {
+					t.Fatalf("step %d: Len() = %d, oracle has %d", i, tr.Len(), len(oracle))
+				}
+			}
+		}
+		checkInvariants(t, tr)
+		// Final exhaustive comparison via full scan.
+		all := tr.Scan(c, 0, len(oracle)+1, nil)
+		if len(all) != len(oracle) {
+			t.Fatalf("final scan has %d pairs, oracle %d", len(all), len(oracle))
+		}
+		for _, kv := range all {
+			if want, ok := oracle[kv.Key]; !ok || want != kv.Value {
+				t.Fatalf("final scan pair (%#x, %d), oracle says (%d, %v)", kv.Key, kv.Value, want, ok)
+			}
+		}
+	})
+}

@@ -1,12 +1,10 @@
 package art
 
 import (
-	"sync"
 	"testing"
 
 	"optiql/internal/core"
 	"optiql/internal/locks"
-	"optiql/internal/workload"
 )
 
 // checkInvariants walks the quiescent tree white-box and verifies:
@@ -102,39 +100,10 @@ func TestInvariantsAfterSequentialOps(t *testing.T) {
 	checkInvariants(t, tr)
 }
 
-func TestInvariantsAfterConcurrentChaos(t *testing.T) {
-	for _, scheme := range []string{"OptiQL", "OptLock", "pthread"} {
-		t.Run(scheme, func(t *testing.T) {
-			tr, pool := newTree(t, scheme)
-			var wg sync.WaitGroup
-			for g := 0; g < 8; g++ {
-				g := g
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					c := locks.NewCtx(pool, 8)
-					defer c.Close()
-					rng := workload.NewRNG(uint64(g) + 100)
-					for i := 0; i < 3000; i++ {
-						k := sparse(rng.Uint64n(2048))
-						switch rng.Uint64n(4) {
-						case 0:
-							tr.Insert(c, k, k)
-						case 1:
-							tr.Update(c, k, k)
-						case 2:
-							tr.Delete(c, k)
-						default:
-							tr.Lookup(c, k)
-						}
-					}
-				}()
-			}
-			wg.Wait()
-			checkInvariants(t, tr)
-		})
-	}
-}
+// Concurrent invariant coverage lives in oracle_test.go: the shared
+// indextest harness runs the mixed workload across all schemes (dense
+// and sparse key layouts) and calls checkInvariants on the quiescent
+// tree.
 
 func TestInvariantsAfterExpansion(t *testing.T) {
 	tr := MustNew(Config{

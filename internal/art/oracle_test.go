@@ -1,0 +1,73 @@
+package art
+
+import (
+	"testing"
+
+	"optiql/internal/indextest"
+	"optiql/internal/locks"
+)
+
+// oracleOptions adapts the ART to the shared concurrent oracle
+// harness, with the white-box invariant walk as the post-run check.
+func oracleOptions() indextest.Options {
+	return indextest.Options{
+		New: func(s *locks.Scheme) (indextest.Index, error) {
+			tr, err := New(Config{Scheme: s})
+			if err != nil {
+				return nil, err
+			}
+			return tr, nil
+		},
+		Scan: func(idx indextest.Index, c *locks.Ctx, start uint64, max int) []indextest.KV {
+			out := idx.(*Tree).Scan(c, start, max, nil)
+			kvs := make([]indextest.KV, len(out))
+			for i, kv := range out {
+				kvs[i] = indextest.KV{Key: kv.Key, Value: kv.Value}
+			}
+			return kvs
+		},
+		Invariants: func(t *testing.T, idx indextest.Index) { checkInvariants(t, idx.(*Tree)) },
+	}
+}
+
+// TestConcurrentOracle runs the striped-key mixed workload across all
+// paper schemes (exclusive-only schemes are skipped by the harness)
+// and verifies exact final contents plus structural invariants. Dense
+// low keys share long prefixes, stressing path compression and the
+// node4/16/48/256 ladder.
+func TestConcurrentOracle(t *testing.T) {
+	indextest.Run(t, oracleOptions())
+}
+
+// TestConcurrentOracleSparse drives the same workload over sparse
+// (splitmix-spread) keys, the layout that forces lazy expansion.
+func TestConcurrentOracleSparse(t *testing.T) {
+	o := oracleOptions()
+	base := o.New
+	o.New = func(s *locks.Scheme) (indextest.Index, error) {
+		idx, err := base(s)
+		if err != nil {
+			return nil, err
+		}
+		return sparseIndex{idx.(*Tree)}, nil
+	}
+	o.Scan = nil // sparse remapping does not preserve key order
+	o.Schemes = []string{"OptiQL", "OptiQL-NOR", "OptiQL-AOR", "pthread"}
+	o.Invariants = func(t *testing.T, idx indextest.Index) {
+		checkInvariants(t, idx.(sparseIndex).t)
+	}
+	indextest.Run(t, o)
+}
+
+// sparseIndex remaps the harness's dense keys through the splitmix
+// bijection before they reach the tree, so the oracle logic stays
+// dense while the tree sees well-spread 64-bit keys.
+type sparseIndex struct{ t *Tree }
+
+func (s sparseIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
+	return s.t.Lookup(c, sparse(k))
+}
+func (s sparseIndex) Insert(c *locks.Ctx, k, v uint64) bool { return s.t.Insert(c, sparse(k), v) }
+func (s sparseIndex) Update(c *locks.Ctx, k, v uint64) bool { return s.t.Update(c, sparse(k), v) }
+func (s sparseIndex) Delete(c *locks.Ctx, k uint64) bool    { return s.t.Delete(c, sparse(k)) }
+func (s sparseIndex) Len() int                              { return s.t.Len() }

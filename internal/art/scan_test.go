@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"optiql/internal/indextest"
 	"optiql/internal/locks"
 	"optiql/internal/workload"
 )
@@ -74,6 +75,7 @@ func TestScanOrderedDenseAndSparse(t *testing.T) {
 }
 
 func TestScanSeesConsistentValues(t *testing.T) {
+	indextest.SkipIfOptimisticRace(t, locks.MustByName("OptiQL"))
 	tr, pool := newTree(t, "OptiQL")
 	const n = 2000
 	c0 := locks.NewCtx(pool, 8)
@@ -128,6 +130,7 @@ func TestScanSeesConsistentValues(t *testing.T) {
 }
 
 func TestScanDuringStructuralChurn(t *testing.T) {
+	indextest.SkipIfOptimisticRace(t, locks.MustByName("OptiQL"))
 	tr, pool := newTree(t, "OptiQL")
 	const n = 4000
 	c0 := locks.NewCtx(pool, 8)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"optiql/internal/indextest"
 	"optiql/internal/locks"
 	"optiql/internal/workload"
 )
@@ -81,6 +82,7 @@ func TestPathCompressionRemerge(t *testing.T) {
 // TestShrinkUnderConcurrency drains most of a sparse population while
 // other threads read and re-insert, then verifies full consistency.
 func TestShrinkUnderConcurrency(t *testing.T) {
+	indextest.SkipIfOptimisticRace(t, locks.MustByName("OptiQL"))
 	tr, pool := newTree(t, "OptiQL")
 	const n = 20000
 	c0 := locks.NewCtx(pool, 8)

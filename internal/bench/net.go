@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/hist"
+	"optiql/internal/obs"
+	"optiql/internal/server/wire"
+	"optiql/internal/workload"
+)
+
+// NetConfig parameterizes one networked benchmark run against an
+// optiqld server: the same workload mixes, key distributions and
+// timeline sampling as the in-process index benchmark, driven through
+// pipelined protocol connections instead of direct calls.
+type NetConfig struct {
+	// Addr is the server address ("host:port").
+	Addr string
+	// Conns is the number of concurrent client connections, each driven
+	// by one goroutine (the networked analogue of Threads).
+	Conns int
+	// Pipeline is the per-connection pipelining window: how many
+	// requests may be in flight before the worker reads a response
+	// (default 32; 1 means strictly synchronous).
+	Pipeline int
+	// Records is the preloaded key population (default 100k). The
+	// client preloads via batched PUTs before the measured phase.
+	Records int
+	// SkipPreload skips the preload phase (for servers already
+	// populated by an earlier run).
+	SkipPreload bool
+	// Distribution is "uniform", "selfsimilar" or "zipf"; Skew is its
+	// parameter.
+	Distribution string
+	Skew         float64
+	// KeySpace selects dense or sparse keys.
+	KeySpace workload.KeySpace
+	// Mix is the operation mix. OpUpdate and OpInsert both map to PUT
+	// (updates target resident keys, inserts draw fresh per-connection
+	// sequences, mirroring the in-process driver).
+	Mix workload.Mix
+	// Duration is the measured run length.
+	Duration time.Duration
+	// ScanLen is the number of pairs requested per SCAN (default 16).
+	ScanLen int
+	// Latency enables sampled per-operation latency collection
+	// (response-time of the sampled request, including queueing).
+	Latency bool
+	// SampleEvery is the throughput-timeline sampling interval
+	// (DefaultSampleEvery when zero; negative disables the timeline).
+	SampleEvery time.Duration
+	// Live, when set, is pointed at this run's completed-operation
+	// total so the -obs endpoint can serve client-side throughput.
+	Live *obs.LiveSource `json:"-"`
+}
+
+func (c *NetConfig) normalize() error {
+	if c.Addr == "" {
+		return fmt.Errorf("bench: NetConfig.Addr is required")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 32
+	}
+	if c.Records <= 0 {
+		c.Records = 100_000
+	}
+	if c.Distribution == "" {
+		c.Distribution = "uniform"
+	}
+	if c.Skew == 0 {
+		c.Skew = 0.2
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.ScanLen == 0 {
+		c.ScanLen = 16
+	}
+	if c.ScanLen > wire.MaxScan {
+		c.ScanLen = wire.MaxScan
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	return c.Mix.Validate()
+}
+
+func (c *NetConfig) distribution() (workload.Distribution, error) {
+	n := uint64(c.Records)
+	switch c.Distribution {
+	case "uniform":
+		return workload.NewUniform(n), nil
+	case "selfsimilar":
+		return workload.NewSelfSimilar(n, c.Skew), nil
+	case "zipf":
+		return workload.NewZipfian(n, c.Skew), nil
+	}
+	return nil, fmt.Errorf("bench: unknown distribution %q", c.Distribution)
+}
+
+// NetResult aggregates one networked benchmark run. PerOp/PerOpMiss
+// are indexed by workload.OpKind like IndexResult's; a miss is a
+// NOT_FOUND (lookup/delete/empty scan), a PUT that inserted where an
+// update was intended, or a PUT that overwrote where an insert was
+// intended.
+type NetResult struct {
+	Config    NetConfig
+	Elapsed   time.Duration
+	Ops       uint64
+	PerOp     [5]uint64
+	PerOpMiss [5]uint64
+	// Errors counts requests answered with StatusErr.
+	Errors uint64
+	// Hist is the sampled response-time distribution (nil unless
+	// Config.Latency).
+	Hist *hist.Histogram
+	// Timeline is the per-interval completed-response series.
+	Timeline *Timeline
+}
+
+// Mops returns client-observed throughput in million ops per second.
+func (r NetResult) Mops() float64 {
+	if s := r.Elapsed.Seconds(); s > 0 {
+		return float64(r.Ops) / s / 1e6
+	}
+	return 0
+}
+
+// Report converts a networked run into a machine-readable run report.
+func (r NetResult) Report(tool string) *obs.Report {
+	return &obs.Report{
+		Tool:           tool,
+		Timestamp:      time.Now(),
+		Host:           obs.CurrentHost(),
+		Config:         r.Config,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Ops:            r.Ops,
+		Mops:           r.Mops(),
+		Timeline:       r.Timeline.Report(),
+		Latency:        latencyReport(r.Hist),
+		Extra: map[string]any{
+			"per_op":      r.PerOp,
+			"per_op_miss": r.PerOpMiss,
+			"net_errors":  r.Errors,
+		},
+	}
+}
+
+// preloadBatch is how many PUTs one preload BATCH request carries.
+const preloadBatch = 512
+
+// Preload inserts cfg.Records keys (value = key) through batched PUTs
+// split across cfg.Conns connections. It is exported so servers
+// started fresh can be populated without a measured run.
+func Preload(cfg NetConfig) error {
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Conns)
+	per := (cfg.Records + cfg.Conns - 1) / cfg.Conns
+	for w := 0; w < cfg.Conns; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > cfg.Records {
+			hi = cfg.Records
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			cl, err := wire.Dial(cfg.Addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for at := lo; at < hi; at += preloadBatch {
+				end := at + preloadBatch
+				if end > hi {
+					end = hi
+				}
+				sub := make([]wire.Request, 0, end-at)
+				for i := at; i < end; i++ {
+					k := cfg.KeySpace.Key(uint64(i))
+					sub = append(sub, wire.Put(k, k))
+				}
+				if _, err := cl.Do(wire.Batch(sub...)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// RunNet preloads the server (unless cfg.SkipPreload) and measures
+// one networked configuration: cfg.Conns workers each drive one
+// pipelined connection with the configured mix for cfg.Duration, then
+// drain their windows. Counts are client-observed completions.
+func RunNet(cfg NetConfig) (NetResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return NetResult{}, err
+	}
+	if !cfg.SkipPreload {
+		if err := Preload(cfg); err != nil {
+			return NetResult{}, err
+		}
+	}
+	dist, err := cfg.distribution()
+	if err != nil {
+		return NetResult{}, err
+	}
+
+	type workerRes struct {
+		ops       uint64
+		perOp     [5]uint64
+		perOpMiss [5]uint64
+		errors    uint64
+		h         hist.Histogram
+		err       error
+	}
+	results := make([]workerRes, cfg.Conns)
+	smp := newSampler(cfg.Conns, cfg.SampleEvery)
+	if cfg.Live != nil {
+		cfg.Live.Set(nil, smp.total)
+	}
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+	)
+	begin := make(chan struct{})
+	for w := 0; w < cfg.Conns; w++ {
+		w := w
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			res := &results[w]
+			cl, err := wire.Dial(cfg.Addr)
+			if err != nil {
+				res.err = err
+				started.Done()
+				return
+			}
+			defer cl.Close()
+			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
+			insertSeq := uint64(cfg.Records) + uint64(w)<<40
+			cell := smp.cell(w)
+
+			// inflight remembers each outstanding request's workload op
+			// kind and send time, FIFO alongside the client's pending
+			// queue.
+			type sent struct {
+				kind workload.OpKind
+				t0   time.Time
+			}
+			inflight := make([]sent, 0, cfg.Pipeline)
+
+			recvOne := func() bool {
+				resp, err := cl.Recv()
+				if err != nil {
+					res.err = err
+					return false
+				}
+				s := inflight[0]
+				inflight = inflight[1:]
+				miss := false
+				switch resp.Status {
+				case wire.StatusErr:
+					res.errors++
+				case wire.StatusNotFound:
+					miss = true
+				default:
+					switch s.kind {
+					case workload.OpUpdate:
+						miss = resp.Inserted // meant to update, key was absent
+					case workload.OpInsert:
+						miss = !resp.Inserted // meant to insert, key existed
+					case workload.OpScan:
+						miss = len(resp.Pairs) == 0
+					}
+				}
+				res.perOp[s.kind]++
+				if miss {
+					res.perOpMiss[s.kind]++
+				}
+				if !s.t0.IsZero() {
+					res.h.Record(uint64(time.Since(s.t0)))
+				}
+				res.ops++
+				cell.n.Add(1)
+				return true
+			}
+
+			started.Done()
+			<-begin
+			for !stop.Load() && res.err == nil {
+				// Fill the window, then complete at least one response.
+				for len(inflight) < cfg.Pipeline && !stop.Load() {
+					op := cfg.Mix.Draw(rng)
+					k := cfg.KeySpace.Key(dist.Next(rng))
+					var req wire.Request
+					switch op {
+					case workload.OpLookup:
+						req = wire.Get(k)
+					case workload.OpUpdate:
+						req = wire.Put(k, rng.Uint64())
+					case workload.OpInsert:
+						insertSeq++
+						ik := cfg.KeySpace.Key(insertSeq)
+						req = wire.Put(ik, insertSeq)
+					case workload.OpDelete:
+						req = wire.Del(k)
+					case workload.OpScan:
+						req = wire.Scan(k, uint32(cfg.ScanLen))
+					}
+					var t0 time.Time
+					if cfg.Latency && rng.Uint64n(16) == 0 {
+						t0 = time.Now()
+					}
+					if err := cl.Send(req); err != nil {
+						res.err = err
+						break
+					}
+					inflight = append(inflight, sent{op, t0})
+				}
+				if res.err != nil {
+					break
+				}
+				if len(inflight) == 0 {
+					continue
+				}
+				if !recvOne() {
+					break
+				}
+			}
+			// Drain the window so every sent request is accounted for.
+			if res.err == nil {
+				cl.Flush()
+				for len(inflight) > 0 {
+					if !recvOne() {
+						break
+					}
+				}
+			}
+		}()
+	}
+	started.Wait()
+	start := time.Now()
+	close(begin)
+	smp.start()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+	timeline := smp.finish()
+
+	out := NetResult{Config: cfg, Elapsed: elapsed, Timeline: timeline}
+	if cfg.Latency {
+		out.Hist = new(hist.Histogram)
+	}
+	for i := range results {
+		if results[i].err != nil && err == nil {
+			err = results[i].err
+		}
+		out.Ops += results[i].ops
+		out.Errors += results[i].errors
+		for k := 0; k < 5; k++ {
+			out.PerOp[k] += results[i].perOp[k]
+			out.PerOpMiss[k] += results[i].perOpMiss[k]
+		}
+		if out.Hist != nil {
+			out.Hist.Merge(&results[i].h)
+		}
+	}
+	return out, err
+}

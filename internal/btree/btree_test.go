@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"optiql/internal/core"
+	"optiql/internal/indextest"
 	"optiql/internal/locks"
 )
 
@@ -30,36 +31,6 @@ func ctxFor(t testing.TB, pool *core.Pool) *locks.Ctx {
 	c := locks.NewCtx(pool, 8)
 	t.Cleanup(c.Close)
 	return c
-}
-
-// runChaos fires goroutines of mixed operations over a shared keyspace.
-func runChaos(t *testing.T, tr *Tree, pool *core.Pool, goroutines, iters, keyspace int) {
-	t.Helper()
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		g := g
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c := locks.NewCtx(pool, 8)
-			defer c.Close()
-			rng := rand.New(rand.NewSource(int64(g) * 77))
-			for i := 0; i < iters; i++ {
-				k := uint64(rng.Intn(keyspace))
-				switch rng.Intn(4) {
-				case 0:
-					tr.Insert(c, k, k)
-				case 1:
-					tr.Update(c, k, k)
-				case 2:
-					tr.Delete(c, k)
-				case 3:
-					tr.Lookup(c, k)
-				}
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -300,6 +271,7 @@ func TestNodeSizeSweepStructure(t *testing.T) {
 func TestConcurrentInsertDisjoint(t *testing.T) {
 	for _, scheme := range indexSchemes() {
 		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
 			tr, pool := newTree(t, scheme, 256)
 			const goroutines, per = 8, 3000
 			var wg sync.WaitGroup
@@ -341,6 +313,7 @@ func TestConcurrentInsertDisjoint(t *testing.T) {
 func TestConcurrentMixed(t *testing.T) {
 	for _, scheme := range indexSchemes() {
 		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
 			tr, pool := newTree(t, scheme, 256)
 			const goroutines, iters, keyspace = 8, 4000, 2048
 

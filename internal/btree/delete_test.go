@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"optiql/internal/indextest"
 	"optiql/internal/locks"
 )
 
@@ -89,6 +90,7 @@ func TestDeleteBorrowPaths(t *testing.T) {
 // TestDeleteInterleavedWithScan verifies that scans passing through
 // merged-away leaves stay correct.
 func TestDeleteInterleavedWithScan(t *testing.T) {
+	indextest.SkipIfOptimisticRace(t, locks.MustByName("OptiQL"))
 	tr, pool := newTree(t, "OptiQL", 96)
 	c := ctxFor(t, pool)
 	const n = 2000
@@ -135,6 +137,7 @@ func TestDeleteInterleavedWithScan(t *testing.T) {
 func TestConcurrentDeleteDisjoint(t *testing.T) {
 	for _, scheme := range []string{"OptiQL", "pthread"} {
 		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
 			tr, pool := newTree(t, scheme, 256)
 			const goroutines, per = 8, 2500
 			c0 := locks.NewCtx(pool, 8)

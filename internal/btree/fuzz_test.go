@@ -1,0 +1,123 @@
+package btree
+
+import (
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+)
+
+// fuzzSchemes are the schemes the fuzzer rotates through; indexed by
+// the first corpus byte so every scheme's single-threaded paths get
+// coverage (concurrency is the oracle harness's job, not the fuzzer's).
+var fuzzSchemes = []string{"OptiQL", "OptLock", "OptiQL-AOR", "pthread"}
+
+// FuzzBTreeOps decodes the input as a little program — header picks a
+// scheme and node size, then two bytes per operation — and replays it
+// against both the tree and a map oracle. Any divergence in return
+// values, lookups, scan contents, Len, or the white-box structural
+// invariants fails the run. Small single-byte keys keep the fuzzer in
+// a dense space where splits, merges and borrows trigger quickly.
+func FuzzBTreeOps(f *testing.F) {
+	// Build-up then tear-down across a leaf boundary.
+	f.Add([]byte{0, 1, 0, 10, 0, 20, 0, 30, 0, 40, 2, 10, 2, 20, 4, 0})
+	// Overwrites, misses and scans interleaved.
+	f.Add([]byte{1, 0, 0, 5, 0, 5, 1, 5, 3, 9, 4, 5, 5, 0, 2, 5})
+	// Scheme 3, tiny nodes, saw-tooth population.
+	f.Add([]byte{3, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 1, 2, 3, 2, 5, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		scheme := locks.MustByName(fuzzSchemes[int(data[0])%len(fuzzSchemes)])
+		// Node sizes 64..256: fanouts 4, 8, 12, 16 with 16-byte entries.
+		nodeSize := 64 + int(data[1]%4)*64
+		tr, err := New(Config{Scheme: scheme, NodeSize: nodeSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := locks.NewCtx(core.NewPool(64), 8)
+		defer c.Close()
+		oracle := make(map[uint64]uint64)
+		for i := 2; i+1 < len(data); i += 2 {
+			op, k := data[i], uint64(data[i+1])
+			v := uint64(i) // value unique per step: overwrites are visible
+			switch op % 6 {
+			case 0: // insert
+				_, had := oracle[k]
+				if got := tr.Insert(c, k, v); got != !had {
+					t.Fatalf("step %d: Insert(%d) new=%v, oracle says %v", i, k, got, !had)
+				}
+				oracle[k] = v
+			case 1: // update
+				_, had := oracle[k]
+				if got := tr.Update(c, k, v); got != had {
+					t.Fatalf("step %d: Update(%d) found=%v, oracle says %v", i, k, got, had)
+				}
+				if had {
+					oracle[k] = v
+				}
+			case 2: // delete
+				_, had := oracle[k]
+				if got := tr.Delete(c, k); got != had {
+					t.Fatalf("step %d: Delete(%d) found=%v, oracle says %v", i, k, got, had)
+				}
+				delete(oracle, k)
+			case 3: // lookup
+				want, had := oracle[k]
+				got, ok := tr.Lookup(c, k)
+				if ok != had || (had && got != want) {
+					t.Fatalf("step %d: Lookup(%d) = (%d, %v), oracle says (%d, %v)", i, k, got, ok, want, had)
+				}
+			case 4: // bounded scan from k
+				max := int(k%17) + 1
+				checkFuzzScan(t, oracle, tr.Scan(c, k, max, nil), k, max)
+			case 5: // len check
+				if tr.Len() != len(oracle) {
+					t.Fatalf("step %d: Len() = %d, oracle has %d", i, tr.Len(), len(oracle))
+				}
+			}
+		}
+		checkInvariants(t, tr)
+		// Final exhaustive comparison.
+		all := tr.Scan(c, 0, len(oracle)+1, nil)
+		if len(all) != len(oracle) {
+			t.Fatalf("final scan has %d pairs, oracle %d", len(all), len(oracle))
+		}
+		for _, kv := range all {
+			if want, ok := oracle[kv.Key]; !ok || want != kv.Value {
+				t.Fatalf("final scan pair (%d, %d), oracle says (%d, %v)", kv.Key, kv.Value, want, ok)
+			}
+		}
+	})
+}
+
+// checkFuzzScan verifies a bounded scan against the oracle: sorted,
+// within bounds, values current, and complete over the window covered.
+func checkFuzzScan(t *testing.T, oracle map[uint64]uint64, out []KV, start uint64, max int) {
+	t.Helper()
+	if len(out) > max {
+		t.Fatalf("scan(%d, %d) returned %d pairs", start, max, len(out))
+	}
+	for i, kv := range out {
+		if kv.Key < start || (i > 0 && kv.Key <= out[i-1].Key) {
+			t.Fatalf("scan(%d) unsorted or out of range at %d", start, i)
+		}
+		if want, ok := oracle[kv.Key]; !ok || want != kv.Value {
+			t.Fatalf("scan pair (%d, %d), oracle says (%d, %v)", kv.Key, kv.Value, want, ok)
+		}
+	}
+	hi := ^uint64(0)
+	if len(out) == max && max > 0 {
+		hi = out[len(out)-1].Key
+	}
+	n := 0
+	for k := range oracle {
+		if k >= start && k <= hi {
+			n++
+		}
+	}
+	if n != len(out) {
+		t.Fatalf("scan(%d, %d) returned %d pairs, oracle has %d in window", start, max, len(out), n)
+	}
+}

@@ -105,19 +105,6 @@ func TestInvariantsAfterSequentialOps(t *testing.T) {
 	checkInvariants(t, tr)
 }
 
-func TestInvariantsAfterConcurrentChaos(t *testing.T) {
-	for _, scheme := range []string{"OptiQL", "OptLock", "MCS-RW"} {
-		t.Run(scheme, func(t *testing.T) {
-			tr, pool := newTree(t, scheme, 256)
-			runChaos(t, tr, pool, 8, 3000, 4096)
-			checkInvariants(t, tr)
-		})
-	}
-}
-
-func TestInvariantsSmallNodes(t *testing.T) {
-	// Fanout-4 trees split constantly, exercising deep SMO chains.
-	tr, pool := newTree(t, "OptiQL", 96)
-	runChaos(t, tr, pool, 8, 2000, 1024)
-	checkInvariants(t, tr)
-}
+// Concurrent invariant coverage lives in oracle_test.go: the shared
+// indextest harness runs the mixed workload across all schemes (and a
+// fanout-4 variant) and calls checkInvariants on the quiescent tree.

@@ -1,0 +1,48 @@
+package btree
+
+import (
+	"testing"
+
+	"optiql/internal/indextest"
+	"optiql/internal/locks"
+)
+
+// oracleOptions adapts the B+-tree to the shared concurrent oracle
+// harness, wiring the white-box invariant checker in as the post-run
+// structural verification.
+func oracleOptions(nodeSize int) indextest.Options {
+	return indextest.Options{
+		New: func(s *locks.Scheme) (indextest.Index, error) {
+			tr, err := New(Config{Scheme: s, NodeSize: nodeSize})
+			if err != nil {
+				return nil, err
+			}
+			return tr, nil
+		},
+		Scan: func(idx indextest.Index, c *locks.Ctx, start uint64, max int) []indextest.KV {
+			out := idx.(*Tree).Scan(c, start, max, nil)
+			kvs := make([]indextest.KV, len(out))
+			for i, kv := range out {
+				kvs[i] = indextest.KV{Key: kv.Key, Value: kv.Value}
+			}
+			return kvs
+		},
+		Invariants: func(t *testing.T, idx indextest.Index) { checkInvariants(t, idx.(*Tree)) },
+	}
+}
+
+// TestConcurrentOracle runs the striped-key mixed workload across all
+// paper schemes (exclusive-only schemes are skipped by the harness)
+// and verifies exact final contents plus structural invariants.
+func TestConcurrentOracle(t *testing.T) {
+	indextest.Run(t, oracleOptions(256))
+}
+
+// TestConcurrentOracleSmallNodes uses fanout-4 nodes so splits and
+// merges fire constantly, exercising deep SMO chains under load.
+func TestConcurrentOracleSmallNodes(t *testing.T) {
+	o := oracleOptions(96)
+	o.Schemes = []string{"OptiQL", "OptLock", "MCS-RW"}
+	o.Keyspace = 1024
+	indextest.Run(t, o)
+}

@@ -1,0 +1,257 @@
+// Package indextest is the shared correctness harness for the two
+// concurrent index substrates: a mixed-workload oracle test that runs
+// across every lock scheme and verifies final contents, plus the skip
+// logic the race-detector CI job relies on.
+//
+// The oracle trick that makes a *concurrent* run checkable is key
+// striping: goroutine g exclusively owns the keys congruent to g
+// modulo the goroutine count and keeps its own map oracle for them.
+// Goroutines still collide on the structure itself — the same leaves,
+// the same ART nodes, the same splits and merges — so the locking
+// protocols are exercised for real, but every key has exactly one
+// writer and its expected value is always known. After the run the
+// union of the per-goroutine oracles must equal the index exactly.
+package indextest
+
+import (
+	"sort"
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/workload"
+)
+
+// KV is a key/value pair returned by a Scan adapter.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Index is the substrate surface the oracle workload drives. Both
+// *btree.Tree and *art.Tree satisfy it directly.
+type Index interface {
+	Lookup(c *locks.Ctx, k uint64) (uint64, bool)
+	Insert(c *locks.Ctx, k, v uint64) bool
+	Update(c *locks.Ctx, k, v uint64) bool
+	Delete(c *locks.Ctx, k uint64) bool
+	Len() int
+}
+
+// Options configures one oracle run.
+type Options struct {
+	// New builds a fresh index for one scheme. Returning an error skips
+	// the scheme (e.g. exclusive-only locks on substrates that need
+	// shared mode).
+	New func(s *locks.Scheme) (Index, error)
+	// Scan, when set, adapts the substrate's range scan; the harness
+	// then validates ordering, bounds and own-stripe completeness
+	// during the run and full contents afterwards.
+	Scan func(idx Index, c *locks.Ctx, start uint64, max int) []KV
+	// Schemes to run (locks.AllNames() when empty).
+	Schemes []string
+	// Goroutines is the worker count (default 8; keys are striped by
+	// worker, so it also sets the stripe modulus).
+	Goroutines int
+	// Ops per goroutine (default 4000, quartered under -short).
+	Ops int
+	// Keyspace is the size of the shared key range (default 2048).
+	Keyspace uint64
+	// Invariants, when set, runs the substrate's white-box structural
+	// checks on the quiescent index after the workload and verification.
+	Invariants func(t *testing.T, idx Index)
+}
+
+// Run executes the concurrent oracle workload for every scheme as a
+// subtest.
+func Run(t *testing.T, o Options) {
+	if o.New == nil {
+		t.Fatal("indextest: Options.New is required")
+	}
+	schemes := o.Schemes
+	if len(schemes) == 0 {
+		schemes = locks.AllNames()
+	}
+	if o.Goroutines <= 0 {
+		o.Goroutines = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4000
+	}
+	if testing.Short() {
+		o.Ops /= 4
+	}
+	if o.Keyspace == 0 {
+		o.Keyspace = 2048
+	}
+	for _, name := range schemes {
+		t.Run(name, func(t *testing.T) {
+			scheme := locks.MustByName(name)
+			SkipIfOptimisticRace(t, scheme)
+			idx, err := o.New(scheme)
+			if err != nil {
+				t.Skipf("scheme unsupported by substrate: %v", err)
+			}
+			runOne(t, o, idx)
+		})
+	}
+}
+
+func runOne(t *testing.T, o Options, idx Index) {
+	g := uint64(o.Goroutines)
+	pool := core.NewPool(256)
+	oracles := make([]map[uint64]uint64, o.Goroutines)
+	done := make(chan int, o.Goroutines)
+	for w := 0; w < o.Goroutines; w++ {
+		w := w
+		oracles[w] = make(map[uint64]uint64)
+		go func() {
+			defer func() { done <- w }()
+			oracle := oracles[w]
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 7)
+			stripe := o.Keyspace / g
+			for i := 0; i < o.Ops; i++ {
+				// Keys owned by this worker: k ≡ w (mod goroutines).
+				k := rng.Uint64n(stripe)*g + uint64(w)
+				v := rng.Uint64()
+				_, had := oracle[k]
+				switch rng.Uint64n(10) {
+				case 0, 1, 2: // insert
+					if got := idx.Insert(c, k, v); got != !had {
+						t.Errorf("Insert(%d) new=%v, oracle says %v", k, got, !had)
+						return
+					}
+					oracle[k] = v
+				case 3, 4: // update
+					if got := idx.Update(c, k, v); got != had {
+						t.Errorf("Update(%d) found=%v, oracle says %v", k, got, had)
+						return
+					}
+					if had {
+						oracle[k] = v
+					}
+				case 5, 6: // delete
+					if got := idx.Delete(c, k); got != had {
+						t.Errorf("Delete(%d) found=%v, oracle says %v", k, got, had)
+						return
+					}
+					delete(oracle, k)
+				case 7, 8: // lookup
+					got, ok := idx.Lookup(c, k)
+					if ok != had || (had && got != oracle[k]) {
+						t.Errorf("Lookup(%d) = (%d, %v), oracle says (%d, %v)", k, got, ok, oracle[k], had)
+						return
+					}
+				case 9: // scan (falls back to lookup without an adapter)
+					if o.Scan == nil {
+						if _, ok := idx.Lookup(c, k); ok != had {
+							t.Errorf("Lookup(%d) present=%v, oracle says %v", k, ok, had)
+							return
+						}
+						continue
+					}
+					max := int(rng.Uint64n(32)) + 1
+					out := o.Scan(idx, c, k, max)
+					if !checkScan(t, oracle, g, uint64(w), k, max, out) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	for range oracles {
+		<-done
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent verification: the union of the stripes is exactly the
+	// index contents.
+	merged := make(map[uint64]uint64)
+	for _, o := range oracles {
+		for k, v := range o {
+			merged[k] = v
+		}
+	}
+	c := locks.NewCtx(pool, 8)
+	defer c.Close()
+	for k := uint64(0); k < o.Keyspace; k++ {
+		want, had := merged[k]
+		got, ok := idx.Lookup(c, k)
+		if ok != had || (had && got != want) {
+			t.Fatalf("final Lookup(%d) = (%d, %v), oracle says (%d, %v)", k, got, ok, want, had)
+		}
+	}
+	if idx.Len() != len(merged) {
+		t.Fatalf("final Len() = %d, oracle has %d keys", idx.Len(), len(merged))
+	}
+	if o.Scan != nil {
+		keys := make([]uint64, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := o.Scan(idx, c, 0, len(merged)+1)
+		if len(out) != len(keys) {
+			t.Fatalf("final scan saw %d pairs, oracle has %d", len(out), len(keys))
+		}
+		for i, k := range keys {
+			if out[i].Key != k || out[i].Value != merged[k] {
+				t.Fatalf("final scan[%d] = (%d, %d), want (%d, %d)", i, out[i].Key, out[i].Value, k, merged[k])
+			}
+		}
+	}
+	if o.Invariants != nil {
+		o.Invariants(t, idx)
+	}
+}
+
+// checkScan validates one mid-run scan result against the scanning
+// worker's own stripe: results must be strictly ascending and >=
+// start, pairs in the worker's stripe must carry its oracle values,
+// and — because the worker's own stripe cannot change while it scans —
+// every owned oracle key inside the observed window must be present.
+func checkScan(t *testing.T, oracle map[uint64]uint64, g, w, start uint64, max int, out []KV) bool {
+	if len(out) > max {
+		t.Errorf("scan(%d, %d) returned %d pairs", start, max, len(out))
+		return false
+	}
+	prev := uint64(0)
+	for i, kv := range out {
+		if kv.Key < start || (i > 0 && kv.Key <= prev) {
+			t.Errorf("scan(%d) out of order at %d: %d after %d", start, i, kv.Key, prev)
+			return false
+		}
+		prev = kv.Key
+		if kv.Key%g == w {
+			want, had := oracle[kv.Key]
+			if !had || kv.Value != want {
+				t.Errorf("scan saw own key %d = %d, oracle says (%d, %v)", kv.Key, kv.Value, want, had)
+				return false
+			}
+		}
+	}
+	// Completeness over the observed window [start, hi]: hi is the last
+	// returned key for a full result, unbounded when the scan exhausted
+	// the index.
+	hi := ^uint64(0)
+	if len(out) == max && max > 0 {
+		hi = out[len(out)-1].Key
+	}
+	seen := make(map[uint64]bool, len(out))
+	for _, kv := range out {
+		if kv.Key%g == w {
+			seen[kv.Key] = true
+		}
+	}
+	for k := range oracle {
+		if k >= start && k <= hi && !seen[k] {
+			t.Errorf("scan(%d, %d) missed own key %d (window up to %d)", start, max, k, hi)
+			return false
+		}
+	}
+	return true
+}

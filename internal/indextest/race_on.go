@@ -1,0 +1,7 @@
+//go:build race
+
+package indextest
+
+// RaceEnabled reports whether this binary was built with the race
+// detector.
+const RaceEnabled = true

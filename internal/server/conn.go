@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+
+	"optiql/internal/locks"
+	"optiql/internal/server/wire"
+)
+
+// pending is one admitted request travelling from the reader to the
+// writer. The writer sends responses strictly in admission order,
+// waiting on ready; ready closes when every constituent operation
+// (one, or each sub-operation of a batch) has filled its slot.
+type pending struct {
+	req       wire.Request
+	resp      wire.Response
+	remaining atomic.Int32
+	ready     chan struct{}
+}
+
+func newPending(req wire.Request) *pending {
+	p := &pending{req: req, ready: make(chan struct{})}
+	n := 1
+	if req.Op == wire.OpBatch {
+		n = len(req.Sub)
+		p.resp.Status = wire.StatusOK
+		p.resp.Sub = make([]wire.Response, n)
+	}
+	p.remaining.Store(int32(n))
+	return p
+}
+
+// opDone marks one constituent operation complete.
+func (p *pending) opDone() {
+	if p.remaining.Add(-1) == 0 {
+		close(p.ready)
+	}
+}
+
+// conn is one client connection: a reader goroutine that decodes,
+// admits and dispatches requests (executing reads inline on its own
+// Ctx, funneling writes to the shard executors) and a writer goroutine
+// that streams responses back in request order.
+type conn struct {
+	srv   *Server
+	nc    net.Conn
+	respQ chan *pending
+	// lastWrite[i] is the most recent pending with a write routed to
+	// shard i from this connection, giving cross-request
+	// read-your-writes: reads on shard i first wait for it. Reader
+	// goroutine only.
+	lastWrite []*pending
+}
+
+// respQDepth bounds admitted-but-unanswered requests per connection;
+// a full queue blocks the reader, pushing backpressure to the client.
+const respQDepth = 512
+
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{
+		srv:       s,
+		nc:        nc,
+		respQ:     make(chan *pending, respQDepth),
+		lastWrite: make([]*pending, len(s.shards)),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.stats.conns.Add(1)
+	// A connection admitted concurrently with Shutdown still gets its
+	// read nudged loose.
+	if s.closing.Load() {
+		nc.SetReadDeadline(closedDeadline)
+	}
+	s.connWG.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// silentClose reports whether a read error means "stop reading, no
+// error response": clean or truncated EOF, a closed connection, or
+// the read deadline Shutdown uses to unblock idle readers.
+func silentClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.connWG.Done()
+	// Closing respQ is what lets the writer drain and close the
+	// connection.
+	defer close(c.respQ)
+	ctx := locks.NewCtx(c.srv.pool, 8)
+	defer ctx.Close()
+	ctx.SetCounters(c.srv.reg.NewCounters())
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, &buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		req, err := wire.ParseRequest(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		p := newPending(req)
+		c.respQ <- p // admission: response order fixed here
+		c.dispatch(ctx, p)
+	}
+}
+
+// fail ends the read loop; protocol errors are answered with a final
+// StatusErr frame before the connection closes.
+func (c *conn) fail(err error) {
+	if silentClose(err) {
+		return
+	}
+	c.srv.stats.errors.Add(1)
+	p := &pending{resp: wire.Response{Status: wire.StatusErr, Err: err.Error()}, ready: make(chan struct{})}
+	close(p.ready)
+	c.respQ <- p
+}
+
+// dispatch routes one admitted request. Reads (GET, SCAN) execute
+// inline on the reader's Ctx — optimistic shared acquisitions make
+// them safely concurrent with the shard executors — after waiting out
+// any older write this connection has in flight on the same shard.
+// Writes are handed to the shard executors. A batch's sub-operations
+// are routed individually and may execute in any order relative to
+// each other (its reads are not guaranteed to observe its writes);
+// the batch response is sent only when all of them have completed.
+func (c *conn) dispatch(ctx *locks.Ctx, p *pending) {
+	if p.req.Op == wire.OpBatch {
+		c.srv.stats.batches.Add(1)
+		for i := range p.req.Sub {
+			c.dispatchOne(ctx, p, &p.req.Sub[i], &p.resp.Sub[i])
+		}
+		return
+	}
+	c.dispatchOne(ctx, p, &p.req, &p.resp)
+}
+
+func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *wire.Response) {
+	s := c.srv
+	switch req.Op {
+	case wire.OpGet:
+		si := s.shardIdx(req.Key)
+		c.waitWrite(si, p)
+		if v, ok := s.shards[si].idx.Lookup(ctx, req.Key); ok {
+			slot.Status = wire.StatusOK
+			slot.Value = v
+		} else {
+			slot.Status = wire.StatusNotFound
+		}
+		s.stats.gets.Add(1)
+		s.stats.ops.Add(1)
+		p.opDone()
+	case wire.OpScan:
+		for si := range s.shards {
+			c.waitWrite(si, p)
+		}
+		slot.Status = wire.StatusOK
+		slot.Pairs = s.scanAll(ctx, req.Key, int(req.Max))
+		s.stats.scans.Add(1)
+		s.stats.ops.Add(1)
+		p.opDone()
+	case wire.OpPut, wire.OpDelete:
+		si := s.shardIdx(req.Key)
+		s.shards[si].exec.ch <- writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
+		c.lastWrite[si] = p
+	default:
+		slot.Status = wire.StatusErr
+		slot.Err = "unsupported opcode"
+		s.stats.errors.Add(1)
+		p.opDone()
+	}
+}
+
+// waitWrite blocks until this connection's latest write on shard si
+// (if any) has executed, unless that write belongs to p itself (a
+// batch mixing a read after a write on one shard would otherwise wait
+// on its own completion).
+func (c *conn) waitWrite(si int, p *pending) {
+	if lw := c.lastWrite[si]; lw != nil && lw != p {
+		<-lw.ready
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	defer func() {
+		c.nc.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+	}()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	var err error
+	broken := false
+	for p := range c.respQ {
+		<-p.ready
+		if broken {
+			// The client is gone but the queue must still drain so the
+			// reader never blocks on a full respQ.
+			continue
+		}
+		buf, err = wire.AppendResponse(buf[:0], &p.req, &p.resp)
+		if err != nil {
+			// Encoding bug or oversized result; answer with an error
+			// frame to keep the stream aligned.
+			e := wire.Response{Status: wire.StatusErr, Err: err.Error()}
+			buf, err = wire.AppendResponse(buf[:0], &p.req, &e)
+			if err != nil {
+				broken = true
+				continue
+			}
+		}
+		if _, err = bw.Write(buf); err != nil {
+			broken = true
+			continue
+		}
+		if len(c.respQ) == 0 {
+			if err = bw.Flush(); err != nil {
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}

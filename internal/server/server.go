@@ -1,0 +1,267 @@
+// Package server exposes the OptiQL index substrates as a sharded
+// network key-value service: a TCP listener speaking the
+// length-prefixed binary protocol of internal/server/wire, a shard
+// router over N independent index instances, per-shard batching write
+// executors and per-connection pipelined read loops.
+//
+// The sharding and batching put the lock protocols where they pay off:
+// reads run concurrently on the connection goroutines (optimistic
+// shared acquisitions), while each shard's writes are funneled through
+// one executor goroutine that drains whole groups of queued mutations
+// per wakeup. Graceful shutdown stops accepting, unblocks idle
+// readers, lets every admitted request complete and drains the
+// executor queues — an in-flight batch is never dropped.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/core"
+	"optiql/internal/locks"
+	"optiql/internal/obs"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":4440", "127.0.0.1:0").
+	Addr string
+	// Index is the substrate kind: "btree" or "art".
+	Index string
+	// Scheme is the lock scheme name (locks.ByName).
+	Scheme string
+	// Shards is the number of independent index partitions (default 4).
+	Shards int
+	// NodeSize is the B+-tree node size in bytes (btree only).
+	NodeSize int
+	// BatchMax caps how many queued writes one executor wakeup groups
+	// (default 64).
+	BatchMax int
+}
+
+func (c *Config) normalize() error {
+	if c.Index == "" {
+		c.Index = "btree"
+	}
+	if c.Index != "btree" && c.Index != "art" {
+		return fmt.Errorf("server: unknown index kind %q", c.Index)
+	}
+	if c.Scheme == "" {
+		c.Scheme = "OptiQL"
+	}
+	if _, err := locks.ByName(c.Scheme); err != nil {
+		return err
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	return nil
+}
+
+// execQDepth bounds queued writes per shard; a full queue blocks the
+// submitting reader, propagating backpressure to that client.
+const execQDepth = 1024
+
+// closedDeadline is a long-expired read deadline, used to unblock
+// readers at shutdown.
+var closedDeadline = time.Unix(1, 0)
+
+type serverStats struct {
+	conns, gets, puts, deletes, scans, batches, errors, ops atomic.Uint64
+}
+
+// Stats is a point-in-time sample of the server's operation counters.
+// Ops counts individual completed operations (batch sub-operations
+// individually; the batch envelope is counted only in Batches).
+type Stats struct {
+	Conns   uint64 `json:"conns"`
+	Gets    uint64 `json:"gets"`
+	Puts    uint64 `json:"puts"`
+	Deletes uint64 `json:"deletes"`
+	Scans   uint64 `json:"scans"`
+	Batches uint64 `json:"batches"`
+	Errors  uint64 `json:"errors"`
+	Ops     uint64 `json:"ops"`
+}
+
+// Server is the sharded KV service. Create with New, bind with Listen
+// (or Start), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	scheme *locks.Scheme
+	pool   *core.Pool
+	reg    *obs.Registry
+	shards []*shard
+
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	closing atomic.Bool
+	closeEx sync.Once
+
+	connWG sync.WaitGroup
+	execWG sync.WaitGroup
+
+	stats serverStats
+}
+
+// New builds the shards and starts their write executors. The server
+// does not accept connections until Listen/Start.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		scheme: locks.MustByName(cfg.Scheme),
+		pool:   core.NewPool(core.MaxQNodes),
+		reg:    obs.NewRegistry(),
+		conns:  make(map[*conn]struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		idx, err := newIndex(cfg.Index, s.scheme, cfg.NodeSize)
+		if err != nil {
+			return nil, err
+		}
+		e := &executor{
+			idx:      idx,
+			ch:       make(chan writeOp, execQDepth),
+			batchMax: cfg.BatchMax,
+			ctx:      locks.NewCtx(s.pool, 8),
+			srv:      s,
+		}
+		e.ctx.SetCounters(s.reg.NewCounters())
+		s.shards = append(s.shards, &shard{idx: idx, exec: e})
+		s.execWG.Add(1)
+		go e.run()
+	}
+	return s, nil
+}
+
+// shardIdx routes a key to its partition index.
+func (s *Server) shardIdx(k uint64) int {
+	return int(shardHash(k) % uint64(len(s.shards)))
+}
+
+// Listen binds the configured address and returns it (useful with
+// port 0). Call Serve afterwards, or use Start.
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Shutdown closes the listener. It
+// returns nil on a shutdown-initiated stop.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if _, err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.serveConn(nc)
+	}
+}
+
+// Start is Listen plus Serve in a background goroutine.
+func (s *Server) Start() (net.Addr, error) {
+	addr, err := s.Listen()
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve()
+	return addr, nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting, unblocks
+// readers waiting for new requests, waits for every admitted request
+// to be executed and answered, then drains and stops the shard
+// executors. Requests a client has sent but the server has not yet
+// read may go unanswered (clients wanting a clean drain should
+// half-close and read to EOF); requests admitted — including every
+// write queued at an executor — are always completed. Returns
+// ctx.Err() if the context expires first, leaving the remaining
+// teardown running in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(closedDeadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		// No connection goroutines remain, so nothing can submit to the
+		// executors: close their queues, letting them drain and exit.
+		s.closeEx.Do(func() {
+			for _, sh := range s.shards {
+				close(sh.exec.ch)
+			}
+		})
+		s.execWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats samples the operation counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:   s.stats.conns.Load(),
+		Gets:    s.stats.gets.Load(),
+		Puts:    s.stats.puts.Load(),
+		Deletes: s.stats.deletes.Load(),
+		Scans:   s.stats.scans.Load(),
+		Batches: s.stats.batches.Load(),
+		Errors:  s.stats.errors.Load(),
+		Ops:     s.stats.ops.Load(),
+	}
+}
+
+// Counters merges the lock/index event counters of every connection
+// and executor Ctx the server has handed out.
+func (s *Server) Counters() obs.Snapshot { return s.reg.Snapshot() }
+
+// Len sums the shard index sizes (exact when quiescent).
+func (s *Server) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.idx.Len()
+	}
+	return n
+}
+
+// AttachLive points a live observability source (the -obs /metrics
+// endpoint) at this server's event counters and completed-operation
+// total.
+func (s *Server) AttachLive(src *obs.LiveSource) {
+	src.Set(s.reg.Snapshot, func() uint64 { return s.stats.ops.Load() })
+}

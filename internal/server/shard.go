@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"optiql/internal/art"
+	"optiql/internal/btree"
+	"optiql/internal/locks"
+	"optiql/internal/server/wire"
+)
+
+// Index is the per-shard substrate surface the server needs: point
+// ops plus an ordered scan returning pairs. *btree.Tree and *art.Tree
+// are adapted below. A PUT maps to Insert (which overwrites an
+// existing key and reports whether the key was new), so the server
+// needs no separate Update.
+type Index interface {
+	Lookup(c *locks.Ctx, k uint64) (uint64, bool)
+	Insert(c *locks.Ctx, k, v uint64) bool
+	Delete(c *locks.Ctx, k uint64) bool
+	Scan(c *locks.Ctx, start uint64, max int, out []wire.KV) []wire.KV
+	Len() int
+}
+
+type btreeIndex struct{ t *btree.Tree }
+
+func (b btreeIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) { return b.t.Lookup(c, k) }
+func (b btreeIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return b.t.Insert(c, k, v) }
+func (b btreeIndex) Delete(c *locks.Ctx, k uint64) bool           { return b.t.Delete(c, k) }
+func (b btreeIndex) Len() int                                     { return b.t.Len() }
+func (b btreeIndex) Scan(c *locks.Ctx, start uint64, max int, out []wire.KV) []wire.KV {
+	for _, kv := range b.t.Scan(c, start, max, nil) {
+		out = append(out, wire.KV{Key: kv.Key, Value: kv.Value})
+	}
+	return out
+}
+
+type artIndex struct{ t *art.Tree }
+
+func (a artIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) { return a.t.Lookup(c, k) }
+func (a artIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return a.t.Insert(c, k, v) }
+func (a artIndex) Delete(c *locks.Ctx, k uint64) bool           { return a.t.Delete(c, k) }
+func (a artIndex) Len() int                                     { return a.t.Len() }
+func (a artIndex) Scan(c *locks.Ctx, start uint64, max int, out []wire.KV) []wire.KV {
+	for _, kv := range a.t.Scan(c, start, max, nil) {
+		out = append(out, wire.KV{Key: kv.Key, Value: kv.Value})
+	}
+	return out
+}
+
+// newIndex builds one shard's index instance.
+func newIndex(kind string, scheme *locks.Scheme, nodeSize int) (Index, error) {
+	switch kind {
+	case "btree":
+		t, err := btree.New(btree.Config{Scheme: scheme, NodeSize: nodeSize})
+		if err != nil {
+			return nil, err
+		}
+		return btreeIndex{t}, nil
+	case "art":
+		t, err := art.New(art.Config{Scheme: scheme})
+		if err != nil {
+			return nil, err
+		}
+		return artIndex{t}, nil
+	}
+	return nil, fmt.Errorf("server: unknown index kind %q", kind)
+}
+
+// shard is one partition: an index instance plus the executor that
+// serializes and batches its writes.
+type shard struct {
+	idx  Index
+	exec *executor
+}
+
+// shardHash is the splitmix64 finalizer; it spreads dense keys across
+// shards so consecutive keys don't all land on one partition.
+func shardHash(k uint64) uint64 {
+	k += 0x9E3779B97F4A7C15
+	k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9
+	k = (k ^ (k >> 27)) * 0x94D049BB133111EB
+	return k ^ (k >> 31)
+}
+
+// shardFor routes a key to its partition.
+func (s *Server) shardFor(k uint64) *shard {
+	return s.shards[shardHash(k)%uint64(len(s.shards))]
+}
+
+// scanAll merges per-shard scans into one globally ordered result of
+// up to max pairs. Keys are hash-partitioned, so a range covers every
+// shard: each shard contributes its first max pairs >= start and the
+// merge keeps the smallest max overall. The result is not a snapshot —
+// shards are scanned one after another — matching the per-leaf
+// (rather than whole-range) consistency the underlying scans provide.
+func (s *Server) scanAll(c *locks.Ctx, start uint64, max int) []wire.KV {
+	var all []wire.KV
+	for _, sh := range s.shards {
+		all = sh.idx.Scan(c, start, max, all)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if len(all) > max {
+		all = all[:max]
+	}
+	return all
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a pipelined protocol client: Send queues any number of
+// requests without waiting, Recv returns responses in request order. A
+// Client is not safe for concurrent use — drive each connection from
+// one goroutine, the same discipline the benchmark workers follow.
+type Client struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	pending []Request // FIFO of unanswered requests
+	rbuf    []byte
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Send encodes and buffers one request; call Flush (or Recv, which
+// flushes first) to put it on the wire.
+func (c *Client) Send(r Request) error {
+	frame, err := AppendRequest(nil, &r)
+	if err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	c.pending = append(c.pending, r)
+	return nil
+}
+
+// Flush writes all buffered requests to the connection.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Pending returns the number of sent-but-unanswered requests.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Recv flushes buffered requests and reads the response to the oldest
+// pending one.
+func (c *Client) Recv() (Response, error) {
+	if len(c.pending) == 0 {
+		return Response{}, fmt.Errorf("wire: Recv with no pending request")
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	payload, err := ReadFrame(c.br, &c.rbuf)
+	if err != nil {
+		return Response{}, err
+	}
+	req := c.pending[0]
+	c.pending = c.pending[1:]
+	return ParseResponse(payload, &req)
+}
+
+// Do is the synchronous path: Send, Flush and Recv one request. It
+// must not be interleaved with outstanding pipelined requests.
+func (c *Client) Do(r Request) (Response, error) {
+	if len(c.pending) != 0 {
+		return Response{}, fmt.Errorf("wire: Do with %d pipelined requests outstanding", len(c.pending))
+	}
+	if err := c.Send(r); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// CloseWrite flushes and half-closes the connection, telling the
+// server no more requests are coming; the server drains what it has
+// read and closes. Responses can still be received afterwards.
+func (c *Client) CloseWrite() error {
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }

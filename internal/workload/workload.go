@@ -217,8 +217,15 @@ type Mix struct {
 	LookupPct, UpdatePct, InsertPct, DeletePct, ScanPct int
 }
 
-// Validate checks the percentages.
+// Validate checks the percentages: each part must be in [0, 100] and
+// together they must sum to exactly 100 (negative parts could cancel
+// out to a "valid" sum while making Draw nonsense).
 func (m Mix) Validate() error {
+	for _, p := range []int{m.LookupPct, m.UpdatePct, m.InsertPct, m.DeletePct, m.ScanPct} {
+		if p < 0 || p > 100 {
+			return fmt.Errorf("workload: mix part %d%% out of range [0, 100]", p)
+		}
+	}
 	sum := m.LookupPct + m.UpdatePct + m.InsertPct + m.DeletePct + m.ScanPct
 	if sum != 100 {
 		return fmt.Errorf("workload: mix sums to %d%%, want 100%%", sum)

@@ -106,6 +106,113 @@ func TestZipfianBoundsAndSkew(t *testing.T) {
 	}
 }
 
+// TestZipfianThetaSweep covers the skew parameter range and tiny key
+// spaces: draws stay in range for every theta, and stronger theta means
+// a hotter head.
+func TestZipfianThetaSweep(t *testing.T) {
+	const n, draws = 1000, 50000
+	prevHead := 0
+	for _, theta := range []float64{0.2, 0.5, 0.8, 0.99} {
+		z := NewZipfian(n, theta)
+		r := NewRNG(11)
+		head := 0
+		for i := 0; i < draws; i++ {
+			v := z.Next(r)
+			if v >= n {
+				t.Fatalf("zipf(%g) out of range: %d", theta, v)
+			}
+			if v < n/100 {
+				head++
+			}
+		}
+		if head <= prevHead {
+			t.Fatalf("zipf(%g) head mass %d not above previous theta's %d", theta, head, prevHead)
+		}
+		prevHead = head
+	}
+	// Degenerate key spaces must still stay in range and reach index 0.
+	for _, small := range []uint64{1, 2, 3} {
+		z := NewZipfian(small, 0.99)
+		r := NewRNG(12)
+		sawZero := false
+		for i := 0; i < 1000; i++ {
+			v := z.Next(r)
+			if v >= small {
+				t.Fatalf("zipf over %d keys drew %d", small, v)
+			}
+			if v == 0 {
+				sawZero = true
+			}
+		}
+		if !sawZero {
+			t.Fatalf("zipf over %d keys never drew the hottest index", small)
+		}
+	}
+}
+
+// mix64Inverse inverts the splitmix64 finalizer: each xor-shift is
+// undone by repeated shifting, each multiplication by the modular
+// inverse of its constant (computed by Newton iteration: x *= 2 - a*x
+// doubles the number of correct low bits each step).
+func mix64Inverse(z uint64) uint64 {
+	inv := func(a uint64) uint64 {
+		x := a // correct to 3 bits (a odd)
+		for i := 0; i < 5; i++ {
+			x *= 2 - a*x
+		}
+		return x
+	}
+	// y = x ^ (x>>s) is undone by repeatedly folding with doubling
+	// shift: y ^ (y>>s) = x ^ (x>>2s), and so on until the shift
+	// leaves the word.
+	unxorshift := func(z uint64, s uint) uint64 {
+		for s < 64 {
+			z ^= z >> s
+			s *= 2
+		}
+		return z
+	}
+	z = unxorshift(z, 31)
+	z *= inv(0x94D049BB133111EB)
+	z = unxorshift(z, 27)
+	z *= inv(0xBF58476D1CE4E5B9)
+	z = unxorshift(z, 30)
+	return z - 0x9E3779B97F4A7C15
+}
+
+// TestMix64Bijective proves mix64 is a bijection by exhibiting its
+// inverse over random probes and boundary values.
+func TestMix64Bijective(t *testing.T) {
+	probes := []uint64{0, 1, 2, ^uint64(0), ^uint64(0) - 1, 1 << 63, 0x9E3779B97F4A7C15}
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		probes = append(probes, r.Uint64())
+	}
+	for _, x := range probes {
+		if got := mix64Inverse(mix64(x)); got != x {
+			t.Fatalf("mix64 not inverted at %#x: round trip %#x", x, got)
+		}
+	}
+	// And the inverse is two-sided.
+	for _, y := range probes[:100] {
+		if got := mix64(mix64Inverse(y)); got != y {
+			t.Fatalf("inverse not two-sided at %#x: %#x", y, got)
+		}
+	}
+}
+
+// TestSparseKeyBijectivity: KeySpace.Key over Sparse is injective by
+// construction (idx+1 composed with the mix64 bijection); confirm the
+// composition stays invertible end to end.
+func TestSparseKeyBijectivity(t *testing.T) {
+	for _, idx := range []uint64{0, 1, 41, 1 << 20, ^uint64(0) - 1} {
+		k := Sparse.Key(idx)
+		if mix64Inverse(k)-1 != idx {
+			t.Fatalf("Sparse.Key(%d) = %#x does not invert", idx, k)
+		}
+	}
+}
+
 func TestKeySpaces(t *testing.T) {
 	if Dense.Key(0) != 1 || Dense.Key(41) != 42 {
 		t.Fatal("dense keys not consecutive from 1")
@@ -140,8 +247,18 @@ func TestMixValidateAndDraw(t *testing.T) {
 	if err := (Mix{LookupPct: 50, UpdatePct: 50}).Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := (Mix{LookupPct: 50}).Validate(); err == nil {
-		t.Fatal("invalid mix accepted")
+	bad := []Mix{
+		{LookupPct: 50},                   // sums to 50
+		{LookupPct: 60, UpdatePct: 60},    // sums to 120
+		{},                                // sums to 0
+		{LookupPct: 200, UpdatePct: -100}, // negative part cancels to 100
+		{LookupPct: 101, UpdatePct: -1},   // part above 100
+		{LookupPct: 90, UpdatePct: 20, DeletePct: -10}, // negative part
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("invalid mix %v accepted", m)
+		}
 	}
 	m := Mix{LookupPct: 80, UpdatePct: 20}
 	r := NewRNG(7)
