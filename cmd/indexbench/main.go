@@ -22,6 +22,7 @@ import (
 
 	"optiql/internal/bench"
 	"optiql/internal/experiments"
+	"optiql/internal/faults"
 	"optiql/internal/obs"
 	"optiql/internal/workload"
 )
@@ -50,6 +51,9 @@ func main() {
 		netAddr   = flag.String("net", "", "drive a running optiqld server at this address instead of an in-process index")
 		pipeline  = flag.Int("pipeline", 32, "per-connection pipelining window for -net runs")
 		noPreload = flag.Bool("nopreload", false, "skip the -net preload phase (server already populated)")
+		chaos     = flag.String("chaos", "", "client-side fault-injection spec for -net runs, e.g. 'reset=0.01,latency=0.05:100us-1ms' (implies -reconn)")
+		reconn    = flag.Bool("reconn", false, "drive -net runs with self-healing synchronous clients (retry/backoff/reconnect) instead of raw pipelined connections")
+		retries   = flag.Int("retries", 0, "per-request retry budget for -reconn/-chaos runs (0 = client default)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,14 @@ func main() {
 		ks = workload.Sparse
 	}
 	if *netAddr != "" {
+		var chaosCfg *faults.Config
+		if *chaos != "" {
+			cfg, err := faults.Parse(*chaos)
+			if err != nil {
+				fatal(err)
+			}
+			chaosCfg = &cfg
+		}
 		runNet(bench.NetConfig{
 			Addr:         *netAddr,
 			Conns:        ths[len(ths)-1],
@@ -99,6 +111,9 @@ func main() {
 			Mix:          mix,
 			Duration:     *duration,
 			Latency:      *latency,
+			Chaos:        chaosCfg,
+			Reconn:       *reconn,
+			MaxRetries:   *retries,
 		}, *jsonPath, *obsAddr, *mixName)
 		return
 	}
@@ -191,6 +206,15 @@ func runNet(cfg bench.NetConfig, jsonPath, obsAddr, mixName string) {
 		if n > 0 {
 			fmt.Printf("  %s: %d (%d misses)\n", workload.OpKind(op), n, res.PerOpMiss[op])
 		}
+	}
+	if rs := res.Reconn; rs.Dials > 0 {
+		fmt.Printf("  resilience: %d dials (%d reconnects), %d retries, %d overload answers, %d failures\n",
+			rs.Dials, rs.Reconnects, rs.Retries, rs.Overloaded, rs.Failures)
+	}
+	if n := res.Counters["fault_latency"] + res.Counters["fault_stall"] + res.Counters["fault_short_write"] +
+		res.Counters["fault_fragment"] + res.Counters["fault_reset"] + res.Counters["fault_corrupt"] +
+		res.Counters["fault_accept_fail"]; n > 0 {
+		fmt.Printf("  faults injected client-side: %d\n", n)
 	}
 	if min, avg, stddev := res.Timeline.Stats(); avg > 0 {
 		fmt.Printf("  timeline: min %.3f / avg %.3f / stddev %.3f Mops over %d intervals\n",

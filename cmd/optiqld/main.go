@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"optiql/internal/faults"
 	"optiql/internal/obs"
 	"optiql/internal/server"
 )
@@ -39,16 +40,32 @@ func main() {
 		batchMax = flag.Int("batch", 64, "max writes grouped per shard-executor wakeup")
 		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		readTO   = flag.Duration("read-timeout", 0, "per-frame read deadline; idle/slow-loris connections are reaped (0 disables)")
+		writeTO  = flag.Duration("write-timeout", 0, "per-response write deadline; non-reading peers are dropped (0 disables)")
+		inflight = flag.Int("inflight", 0, "per-shard write admission budget; overflow is shed with OVERLOADED (0 = block instead)")
+		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. 'reset=0.01,latency=0.05:100us-1ms,corrupt=0.001,seed=7' (see internal/faults)")
 	)
 	flag.Parse()
 
+	var chaosCfg *faults.Config
+	if *chaos != "" {
+		cfg, err := faults.Parse(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		chaosCfg = &cfg
+	}
 	srv, err := server.New(server.Config{
-		Addr:     *addr,
-		Index:    *index,
-		Scheme:   *scheme,
-		Shards:   *shards,
-		NodeSize: *nodeSize,
-		BatchMax: *batchMax,
+		Addr:         *addr,
+		Index:        *index,
+		Scheme:       *scheme,
+		Shards:       *shards,
+		NodeSize:     *nodeSize,
+		BatchMax:     *batchMax,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		InflightMax:  *inflight,
+		Chaos:        chaosCfg,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,6 +84,9 @@ func main() {
 		fmt.Printf("observability endpoint on http://%s/metrics\n", oaddr)
 	}
 	fmt.Printf("optiqld serving %s/%s on %s (%d shards)\n", *index, *scheme, bound, *shards)
+	if chaosCfg != nil {
+		fmt.Printf("optiqld: CHAOS MODE: injecting faults on every connection (%s)\n", *chaos)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
@@ -90,6 +110,15 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("optiqld: served %d conns, %d ops (%d get / %d put / %d delete / %d scan, %d batches, %d errors), %d keys resident\n",
 		st.Conns, st.Ops, st.Gets, st.Puts, st.Deletes, st.Scans, st.Batches, st.Errors, srv.Len())
+	if st.Panics+st.Shed+st.Reaped > 0 {
+		fmt.Printf("optiqld: resilience: %d panics recovered, %d writes shed, %d connections reaped\n",
+			st.Panics, st.Shed, st.Reaped)
+	}
+	if inj := srv.FaultInjector(); inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("optiqld: faults injected: %d total (%d latency, %d stall, %d short-write, %d fragment, %d reset, %d corrupt, %d accept-fail)\n",
+			fs.Total(), fs.Latency, fs.Stall, fs.ShortWrite, fs.Fragment, fs.Reset, fs.Corrupt, fs.AcceptFail)
+	}
 	snap := srv.Counters()
 	// ART writes acquire via read-to-write upgrades, the B+-tree via
 	// direct exclusive acquires; print both so neither index looks idle.

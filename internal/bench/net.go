@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"optiql/internal/faults"
 	"optiql/internal/hist"
 	"optiql/internal/obs"
 	"optiql/internal/server/wire"
@@ -55,7 +56,25 @@ type NetConfig struct {
 	// Live, when set, is pointed at this run's completed-operation
 	// total so the -obs endpoint can serve client-side throughput.
 	Live *obs.LiveSource `json:"-"`
+	// Chaos, when it enables any fault, wraps every measured-phase
+	// connection with client-side fault injection (the preload stays on
+	// a clean transport). Chaos implies resilient mode: a pipelined
+	// client cannot outlive injected resets, so workers switch to
+	// self-healing synchronous clients.
+	Chaos *faults.Config
+	// Reconn forces resilient mode even without chaos: workers drive
+	// wire.ReconnClient synchronously (Pipeline is ignored), retrying
+	// and reconnecting per its policy instead of failing the run on the
+	// first transport error.
+	Reconn bool
+	// MaxRetries is the per-request retry budget in resilient mode
+	// (ReconnClient's default when zero).
+	MaxRetries int
 }
+
+// resilient reports whether workers use self-healing synchronous
+// clients instead of raw pipelined connections.
+func (c *NetConfig) resilient() bool { return c.Reconn || c.Chaos.Any() }
 
 func (c *NetConfig) normalize() error {
 	if c.Addr == "" {
@@ -115,8 +134,20 @@ type NetResult struct {
 	Ops       uint64
 	PerOp     [5]uint64
 	PerOpMiss [5]uint64
-	// Errors counts requests answered with StatusErr.
+	// Errors counts requests answered with StatusErr, plus — in
+	// resilient mode — requests that failed even after the retry
+	// budget (surfaced per-op instead of aborting the run).
 	Errors uint64
+	// Overloaded counts requests whose final answer was
+	// StatusOverloaded: the server shed them and the retry budget ran
+	// out backing off.
+	Overloaded uint64
+	// Reconn aggregates the workers' ReconnClient stats (resilient
+	// mode only).
+	Reconn wire.ReconnStats
+	// Counters is the client-side event snapshot (fault_*, cli_*) in
+	// resilient mode, nil otherwise.
+	Counters map[string]uint64
 	// Hist is the sampled response-time distribution (nil unless
 	// Config.Latency).
 	Hist *hist.Histogram
@@ -134,7 +165,7 @@ func (r NetResult) Mops() float64 {
 
 // Report converts a networked run into a machine-readable run report.
 func (r NetResult) Report(tool string) *obs.Report {
-	return &obs.Report{
+	rep := &obs.Report{
 		Tool:           tool,
 		Timestamp:      time.Now(),
 		Host:           obs.CurrentHost(),
@@ -142,6 +173,7 @@ func (r NetResult) Report(tool string) *obs.Report {
 		ElapsedSeconds: r.Elapsed.Seconds(),
 		Ops:            r.Ops,
 		Mops:           r.Mops(),
+		Counters:       r.Counters,
 		Timeline:       r.Timeline.Report(),
 		Latency:        latencyReport(r.Hist),
 		Extra: map[string]any{
@@ -150,6 +182,11 @@ func (r NetResult) Report(tool string) *obs.Report {
 			"net_errors":  r.Errors,
 		},
 	}
+	if r.Config.resilient() {
+		rep.Extra["overloaded"] = r.Overloaded
+		rep.Extra["reconn"] = r.Reconn
+	}
+	return rep
 }
 
 // preloadBatch is how many PUTs one preload BATCH request carries.
@@ -182,7 +219,7 @@ func Preload(cfg NetConfig) error {
 				errs <- err
 				return
 			}
-			defer cl.Close()
+			defer func() { cl.Close() }()
 			for at := lo; at < hi; at += preloadBatch {
 				end := at + preloadBatch
 				if end > hi {
@@ -193,9 +230,46 @@ func Preload(cfg NetConfig) error {
 					k := cfg.KeySpace.Key(uint64(i))
 					sub = append(sub, wire.Put(k, k))
 				}
-				if _, err := cl.Do(wire.Batch(sub...)); err != nil {
-					errs <- err
-					return
+				// Preload PUTs are idempotent (value = key), so the whole
+				// batch can simply be retried until every sub-op landed:
+				// always after admission-control sheds, and — in resilient
+				// mode — across transport failures on a fresh connection.
+				backoff := time.Millisecond
+				for attempt := 0; ; attempt++ {
+					resp, err := cl.Do(wire.Batch(sub...))
+					done := err == nil
+					if err == nil {
+						for i := range resp.Sub {
+							if resp.Sub[i].Status == wire.StatusOverloaded {
+								done = false
+								break
+							}
+						}
+					}
+					if done {
+						break
+					}
+					if err != nil {
+						if !cfg.resilient() || attempt >= 20 {
+							errs <- err
+							return
+						}
+						cl.Close()
+						time.Sleep(backoff)
+						if cl, err = wire.Dial(cfg.Addr); err != nil {
+							errs <- err
+							return
+						}
+					} else {
+						if attempt >= 50 {
+							errs <- fmt.Errorf("bench: preload still shed after %d attempts", attempt)
+							return
+						}
+						time.Sleep(backoff)
+					}
+					if backoff < 100*time.Millisecond {
+						backoff *= 2
+					}
 				}
 			}
 		}(lo, hi)
@@ -205,10 +279,35 @@ func Preload(cfg NetConfig) error {
 	return <-errs
 }
 
+// netMiss reports whether a non-error response counts as a miss for
+// the workload op kind that produced it: a NOT_FOUND, a PUT that
+// inserted where an update was intended (or vice versa), or an empty
+// scan.
+func netMiss(kind workload.OpKind, resp *wire.Response) bool {
+	if resp.Status == wire.StatusNotFound {
+		return true
+	}
+	switch kind {
+	case workload.OpUpdate:
+		return resp.Inserted
+	case workload.OpInsert:
+		return !resp.Inserted
+	case workload.OpScan:
+		return len(resp.Pairs) == 0
+	}
+	return false
+}
+
 // RunNet preloads the server (unless cfg.SkipPreload) and measures
 // one networked configuration: cfg.Conns workers each drive one
 // pipelined connection with the configured mix for cfg.Duration, then
 // drain their windows. Counts are client-observed completions.
+//
+// In resilient mode (cfg.Reconn, or any cfg.Chaos fault enabled) each
+// worker instead drives a synchronous self-healing ReconnClient —
+// with chaos, through fault-injected dials — and a request that fails
+// even after the retry budget is counted in Errors rather than
+// aborting the run.
 func RunNet(cfg NetConfig) (NetResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return NetResult{}, err
@@ -223,13 +322,33 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 		return NetResult{}, err
 	}
 
+	// Resilient-mode plumbing: one injector shared by every worker's
+	// dials, one registry collecting fault_* and cli_* events for the
+	// report.
+	var (
+		reg *obs.Registry
+		inj *faults.Injector
+	)
+	if cfg.resilient() {
+		reg = obs.NewRegistry()
+		if cfg.Chaos.Any() {
+			chaos := *cfg.Chaos
+			if chaos.Counters == nil {
+				chaos.Counters = reg.NewCounters()
+			}
+			inj = faults.NewInjector(chaos)
+		}
+	}
+
 	type workerRes struct {
-		ops       uint64
-		perOp     [5]uint64
-		perOpMiss [5]uint64
-		errors    uint64
-		h         hist.Histogram
-		err       error
+		ops        uint64
+		perOp      [5]uint64
+		perOpMiss  [5]uint64
+		errors     uint64
+		overloaded uint64
+		rstats     wire.ReconnStats
+		h          hist.Histogram
+		err        error
 	}
 	results := make([]workerRes, cfg.Conns)
 	smp := newSampler(cfg.Conns, cfg.SampleEvery)
@@ -250,6 +369,78 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 		go func() {
 			defer done.Done()
 			res := &results[w]
+			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
+			insertSeq := uint64(cfg.Records) + uint64(w)<<40
+			cell := smp.cell(w)
+
+			// draw builds the next request per the configured mix.
+			draw := func() (workload.OpKind, wire.Request) {
+				op := cfg.Mix.Draw(rng)
+				k := cfg.KeySpace.Key(dist.Next(rng))
+				var req wire.Request
+				switch op {
+				case workload.OpLookup:
+					req = wire.Get(k)
+				case workload.OpUpdate:
+					req = wire.Put(k, rng.Uint64())
+				case workload.OpInsert:
+					insertSeq++
+					ik := cfg.KeySpace.Key(insertSeq)
+					req = wire.Put(ik, insertSeq)
+				case workload.OpDelete:
+					req = wire.Del(k)
+				case workload.OpScan:
+					req = wire.Scan(k, uint32(cfg.ScanLen))
+				}
+				return op, req
+			}
+
+			if cfg.resilient() {
+				rc := &wire.ReconnClient{
+					Addr:       cfg.Addr,
+					MaxRetries: cfg.MaxRetries,
+					Counters:   reg.NewCounters(),
+				}
+				if inj != nil {
+					rc.DialFunc = inj.Dial
+				}
+				defer rc.Close()
+				defer func() { res.rstats = rc.Stats() }()
+				started.Done()
+				<-begin
+				for !stop.Load() {
+					kind, req := draw()
+					var t0 time.Time
+					if cfg.Latency && rng.Uint64n(16) == 0 {
+						t0 = time.Now()
+					}
+					resp, err := rc.Do(req)
+					if err != nil {
+						// Retry budget exhausted (or an indeterminate
+						// write): the failure is the data point.
+						res.errors++
+						continue
+					}
+					switch resp.Status {
+					case wire.StatusErr:
+						res.errors++
+					case wire.StatusOverloaded:
+						res.overloaded++
+					default:
+						if netMiss(kind, &resp) {
+							res.perOpMiss[kind]++
+						}
+					}
+					res.perOp[kind]++
+					if !t0.IsZero() {
+						res.h.Record(uint64(time.Since(t0)))
+					}
+					res.ops++
+					cell.n.Add(1)
+				}
+				return
+			}
+
 			cl, err := wire.Dial(cfg.Addr)
 			if err != nil {
 				res.err = err
@@ -257,9 +448,6 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 				return
 			}
 			defer cl.Close()
-			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
-			insertSeq := uint64(cfg.Records) + uint64(w)<<40
-			cell := smp.cell(w)
 
 			// inflight remembers each outstanding request's workload op
 			// kind and send time, FIFO alongside the client's pending
@@ -282,17 +470,10 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 				switch resp.Status {
 				case wire.StatusErr:
 					res.errors++
-				case wire.StatusNotFound:
-					miss = true
+				case wire.StatusOverloaded:
+					res.overloaded++
 				default:
-					switch s.kind {
-					case workload.OpUpdate:
-						miss = resp.Inserted // meant to update, key was absent
-					case workload.OpInsert:
-						miss = !resp.Inserted // meant to insert, key existed
-					case workload.OpScan:
-						miss = len(resp.Pairs) == 0
-					}
+					miss = netMiss(s.kind, &resp)
 				}
 				res.perOp[s.kind]++
 				if miss {
@@ -311,23 +492,7 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 			for !stop.Load() && res.err == nil {
 				// Fill the window, then complete at least one response.
 				for len(inflight) < cfg.Pipeline && !stop.Load() {
-					op := cfg.Mix.Draw(rng)
-					k := cfg.KeySpace.Key(dist.Next(rng))
-					var req wire.Request
-					switch op {
-					case workload.OpLookup:
-						req = wire.Get(k)
-					case workload.OpUpdate:
-						req = wire.Put(k, rng.Uint64())
-					case workload.OpInsert:
-						insertSeq++
-						ik := cfg.KeySpace.Key(insertSeq)
-						req = wire.Put(ik, insertSeq)
-					case workload.OpDelete:
-						req = wire.Del(k)
-					case workload.OpScan:
-						req = wire.Scan(k, uint32(cfg.ScanLen))
-					}
+					op, req := draw()
 					var t0 time.Time
 					if cfg.Latency && rng.Uint64n(16) == 0 {
 						t0 = time.Now()
@@ -379,6 +544,12 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 		}
 		out.Ops += results[i].ops
 		out.Errors += results[i].errors
+		out.Overloaded += results[i].overloaded
+		out.Reconn.Dials += results[i].rstats.Dials
+		out.Reconn.Reconnects += results[i].rstats.Reconnects
+		out.Reconn.Retries += results[i].rstats.Retries
+		out.Reconn.Overloaded += results[i].rstats.Overloaded
+		out.Reconn.Failures += results[i].rstats.Failures
 		for k := 0; k < 5; k++ {
 			out.PerOp[k] += results[i].perOp[k]
 			out.PerOpMiss[k] += results[i].perOpMiss[k]
@@ -386,6 +557,9 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 		if out.Hist != nil {
 			out.Hist.Merge(&results[i].h)
 		}
+	}
+	if reg != nil {
+		out.Counters = reg.Snapshot().Map()
 	}
 	return out, err
 }

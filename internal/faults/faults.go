@@ -1,0 +1,478 @@
+// Package faults is the deterministic fault-injection layer of the
+// network stack: a chaos net.Conn / net.Listener wrapper that injects
+// the failures a production deployment meets — added latency, read
+// stalls (slow-loris peers), fragmented and short writes, hard
+// connection resets, single-bit payload corruption and transient
+// accept failures — under per-fault probability knobs.
+//
+// The paper's claim is that OptiQL stays robust when contention and
+// oversubscription would collapse a centralized lock; this package
+// makes the same claim testable one layer up, for the optiqld network
+// service. It is used two ways: the chaos e2e tests in internal/server
+// drive the oracle workload through a faulty transport and assert that
+// no acknowledged write is ever lost, and the daemons expose it live
+// via `optiqld -chaos` / `indexbench -chaos` so a Figure-9-style
+// throughput timeline can be recorded while faults fire.
+//
+// Determinism: every decision comes from a splitmix64 stream seeded
+// from Config.Seed (each wrapped connection derives its own stream
+// from the seed and a connection ordinal), so a run with the same seed
+// makes the same injection decisions in the same per-connection
+// operation order. Wall-clock effects (what the peer was doing when
+// the reset landed) are of course still scheduling-dependent.
+package faults
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiql/internal/obs"
+)
+
+// Config holds the per-fault probabilities (each in [0, 1], applied
+// per Read/Write/Accept call) and their parameters. The zero value
+// injects nothing.
+type Config struct {
+	// Seed seeds the deterministic decision stream (0 means 1).
+	Seed uint64
+	// LatencyProb delays a Read or Write by a pseudo-random duration in
+	// [LatencyMin, LatencyMax].
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+	// StallProb freezes a Read for StallDur before proceeding — a
+	// slow-loris peer from the other side's point of view.
+	StallProb float64
+	StallDur  time.Duration
+	// ShortWriteProb truncates a Write, returning a short count with
+	// io.ErrShortWrite; the peer sees a frame cut off mid-stream.
+	ShortWriteProb float64
+	// FragmentProb splits a Write into small delayed fragments (the
+	// full buffer is still written; the peer's frame reassembly is
+	// exercised).
+	FragmentProb float64
+	// ResetProb closes the connection hard (SO_LINGER 0 on TCP, so the
+	// peer observes ECONNRESET rather than a clean EOF).
+	ResetProb float64
+	// CorruptReadProb / CorruptWriteProb flip exactly one bit in a
+	// non-empty Read / Write buffer.
+	CorruptReadProb  float64
+	CorruptWriteProb float64
+	// AcceptFailProb makes Listener.Accept return a transient
+	// (Temporary() == true) injected error.
+	AcceptFailProb float64
+	// Counters, when set, mirrors every injection into the shared obs
+	// registry (EvFault*), so chaos runs surface in -json reports and
+	// /metrics next to the lock events.
+	Counters *obs.Counters
+}
+
+// Any reports whether the configuration can inject at least one fault.
+func (c *Config) Any() bool {
+	return c != nil && (c.LatencyProb > 0 || c.StallProb > 0 || c.ShortWriteProb > 0 ||
+		c.FragmentProb > 0 || c.ResetProb > 0 || c.CorruptReadProb > 0 ||
+		c.CorruptWriteProb > 0 || c.AcceptFailProb > 0)
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Latency    uint64 `json:"latency"`
+	Stall      uint64 `json:"stall"`
+	ShortWrite uint64 `json:"short_write"`
+	Fragment   uint64 `json:"fragment"`
+	Reset      uint64 `json:"reset"`
+	Corrupt    uint64 `json:"corrupt"`
+	AcceptFail uint64 `json:"accept_fail"`
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() uint64 {
+	return s.Latency + s.Stall + s.ShortWrite + s.Fragment + s.Reset + s.Corrupt + s.AcceptFail
+}
+
+// Injector owns one chaos configuration: it wraps listeners and
+// connections, counts what it injects and can be disabled at runtime
+// (SetEnabled), which the e2e harness uses to run a clean verification
+// phase over the same listener after the chaotic measured phase.
+type Injector struct {
+	cfg     Config
+	enabled atomic.Bool
+	connSeq atomic.Uint64
+
+	latency, stall, shortWrite, fragment, reset, corrupt, acceptFail atomic.Uint64
+}
+
+// NewInjector builds an enabled injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.LatencyMax < cfg.LatencyMin {
+		cfg.LatencyMax = cfg.LatencyMin
+	}
+	in := &Injector{cfg: cfg}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled toggles injection; a disabled injector passes every call
+// through untouched.
+func (in *Injector) SetEnabled(on bool) { in.enabled.Store(on) }
+
+// Stats samples the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Latency:    in.latency.Load(),
+		Stall:      in.stall.Load(),
+		ShortWrite: in.shortWrite.Load(),
+		Fragment:   in.fragment.Load(),
+		Reset:      in.reset.Load(),
+		Corrupt:    in.corrupt.Load(),
+		AcceptFail: in.acceptFail.Load(),
+	}
+}
+
+func (in *Injector) count(c *atomic.Uint64, e obs.Event) {
+	c.Add(1)
+	in.cfg.Counters.Inc(e)
+}
+
+// rng is one deterministic splitmix64 decision stream.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hit draws one decision with probability p.
+func (r *rng) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(r.next()>>11)/(1<<53) < p
+}
+
+// dur draws a duration in [lo, hi].
+func (r *rng) dur(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.next()%uint64(hi-lo+1))
+}
+
+// WrapConn wraps an established connection with this injector's
+// faults. Each wrapped connection gets its own deterministic decision
+// stream derived from the seed and a connection ordinal.
+func (in *Injector) WrapConn(nc net.Conn) *Conn {
+	seq := in.connSeq.Add(1)
+	s := in.cfg.Seed ^ seq*0xD1B54A32D192ED03
+	return &Conn{Conn: nc, in: in, rng: rng{s: s}, rrng: rng{s: s ^ 0x9FB21C651E98DF25}}
+}
+
+// WrapListener wraps ln so accepted connections carry this injector's
+// faults and Accept itself fails transiently with AcceptFailProb.
+func (in *Injector) WrapListener(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, in: in, rng: rng{s: in.cfg.Seed ^ 0xA0761D6478BD642F}}
+}
+
+// Dial connects to addr and wraps the connection.
+func (in *Injector) Dial(addr string) (net.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(nc), nil
+}
+
+// errInjected is the base of all injected errors, so tests and logs
+// can tell chaos from genuine failures.
+type errInjected struct {
+	kind string
+	temp bool
+}
+
+func (e *errInjected) Error() string   { return "faults: injected " + e.kind }
+func (e *errInjected) Timeout() bool   { return false }
+func (e *errInjected) Temporary() bool { return e.temp }
+
+// IsInjected reports whether err (or anything it wraps) was produced
+// by this package.
+func IsInjected(err error) bool {
+	for err != nil {
+		if _, ok := err.(*errInjected); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Conn is a net.Conn with faults injected on Read and Write. It is
+// safe for the usual one-reader/one-writer connection discipline; the
+// decision stream is split per direction so reader and writer
+// goroutines never share rng state.
+type Conn struct {
+	net.Conn
+	in *Injector
+	// rng drives write-side decisions; rrng drives read-side decisions.
+	// Splitting the stream per direction keeps the reader and writer
+	// goroutines' decisions independent and race-free.
+	rng  rng
+	rrng rng
+}
+
+// Unwrap returns the underlying connection (used by the server's TCP
+// tuning to reach the *net.TCPConn through the chaos wrapper).
+func (c *Conn) Unwrap() net.Conn { return c.Conn }
+
+// abort closes the connection hard: on TCP, SO_LINGER 0 turns Close
+// into a RST so the peer sees ECONNRESET instead of a clean EOF.
+func (c *Conn) abort() error {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+	return &errInjected{kind: "connection reset", temp: false}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	in := c.in
+	if !in.enabled.Load() {
+		return c.Conn.Read(b)
+	}
+	r := &c.rrng
+	if r.hit(in.cfg.StallProb) {
+		in.count(&in.stall, obs.EvFaultStall)
+		time.Sleep(in.cfg.StallDur)
+	}
+	if r.hit(in.cfg.LatencyProb) {
+		in.count(&in.latency, obs.EvFaultLatency)
+		time.Sleep(r.dur(in.cfg.LatencyMin, in.cfg.LatencyMax))
+	}
+	if r.hit(in.cfg.ResetProb) {
+		in.count(&in.reset, obs.EvFaultReset)
+		return 0, c.abort()
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && r.hit(in.cfg.CorruptReadProb) {
+		in.count(&in.corrupt, obs.EvFaultCorrupt)
+		flipBit(b[:n], r)
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	in := c.in
+	if !in.enabled.Load() {
+		return c.Conn.Write(b)
+	}
+	r := &c.rng
+	if r.hit(in.cfg.LatencyProb) {
+		in.count(&in.latency, obs.EvFaultLatency)
+		time.Sleep(r.dur(in.cfg.LatencyMin, in.cfg.LatencyMax))
+	}
+	if r.hit(in.cfg.ResetProb) {
+		in.count(&in.reset, obs.EvFaultReset)
+		return 0, c.abort()
+	}
+	if len(b) > 0 && r.hit(in.cfg.CorruptWriteProb) {
+		in.count(&in.corrupt, obs.EvFaultCorrupt)
+		// Corrupt a copy: the caller's buffer (e.g. bufio's) must not be
+		// mutated behind its back.
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		flipBit(cp, r)
+		b = cp
+	}
+	if len(b) > 1 && r.hit(in.cfg.ShortWriteProb) {
+		in.count(&in.shortWrite, obs.EvFaultShortWrite)
+		n, err := c.Conn.Write(b[:1+int(r.next()%uint64(len(b)-1))])
+		if err != nil {
+			return n, err
+		}
+		// A short count with no error: io users (bufio included) turn
+		// this into io.ErrShortWrite and give up on the connection —
+		// exactly the torn-frame failure being modeled.
+		return n, nil
+	}
+	if len(b) > 1 && r.hit(in.cfg.FragmentProb) {
+		in.count(&in.fragment, obs.EvFaultFragment)
+		return c.writeFragmented(b, r)
+	}
+	return c.Conn.Write(b)
+}
+
+// writeFragmented writes b in 2–4 chunks with small delays between,
+// forcing the peer to reassemble frames across multiple reads.
+func (c *Conn) writeFragmented(b []byte, r *rng) (int, error) {
+	parts := 2 + int(r.next()%3)
+	if parts > len(b) {
+		parts = len(b)
+	}
+	wrote := 0
+	for i := 0; i < parts; i++ {
+		end := len(b) * (i + 1) / parts
+		n, err := c.Conn.Write(b[wrote:end])
+		wrote += n
+		if err != nil {
+			return wrote, err
+		}
+		if i < parts-1 {
+			time.Sleep(time.Duration(r.next()%uint64(200)) * time.Microsecond)
+		}
+	}
+	return wrote, nil
+}
+
+// flipBit flips one pseudo-randomly chosen bit in b.
+func flipBit(b []byte, r *rng) {
+	x := r.next()
+	b[int(x%uint64(len(b)))] ^= 1 << ((x >> 32) % 8)
+}
+
+// Listener wraps a net.Listener: Accept fails transiently with the
+// configured probability and accepted connections are fault-wrapped.
+type Listener struct {
+	net.Listener
+	in  *Injector
+	mu  sync.Mutex // guards rng (Accept is usually single-threaded, but cheap to be safe)
+	rng rng
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.in.enabled.Load() {
+		l.mu.Lock()
+		fail := l.rng.hit(l.in.cfg.AcceptFailProb)
+		l.mu.Unlock()
+		if fail {
+			l.in.count(&l.in.acceptFail, obs.EvFaultAcceptFail)
+			nc.Close()
+			return nil, &errInjected{kind: "accept failure", temp: true}
+		}
+	}
+	return l.in.WrapConn(nc), nil
+}
+
+// Parse builds a Config from a -chaos flag spec: a comma-separated
+// list of fault=value settings, e.g.
+//
+//	latency=0.1:200us-2ms,stall=0.02:50ms,reset=0.01,corrupt=0.005,
+//	short=0.01,frag=0.1,accept=0.05,seed=42
+//
+// Probabilities are in [0,1]. corrupt sets both directions; corruptr /
+// corruptw set one. Omitted faults stay off; latency defaults to
+// 100us-1ms, stall to 10ms when only the probability is given.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: malformed setting %q (want fault=value)", part)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "latency":
+			p, rest, err := parseProb(k, v)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.LatencyProb = p
+			cfg.LatencyMin, cfg.LatencyMax = 100*time.Microsecond, time.Millisecond
+			if rest != "" {
+				lo, hi, ok := strings.Cut(rest, "-")
+				if cfg.LatencyMin, err = time.ParseDuration(lo); err != nil {
+					return cfg, fmt.Errorf("faults: bad latency range %q: %v", rest, err)
+				}
+				cfg.LatencyMax = cfg.LatencyMin
+				if ok {
+					if cfg.LatencyMax, err = time.ParseDuration(hi); err != nil {
+						return cfg, fmt.Errorf("faults: bad latency range %q: %v", rest, err)
+					}
+				}
+			}
+		case "stall":
+			p, rest, err := parseProb(k, v)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.StallProb = p
+			cfg.StallDur = 10 * time.Millisecond
+			if rest != "" {
+				if cfg.StallDur, err = time.ParseDuration(rest); err != nil {
+					return cfg, fmt.Errorf("faults: bad stall duration %q: %v", rest, err)
+				}
+			}
+		case "reset", "corrupt", "corruptr", "corruptw", "short", "frag", "accept":
+			p, rest, err := parseProb(k, v)
+			if err != nil {
+				return cfg, err
+			}
+			if rest != "" {
+				return cfg, fmt.Errorf("faults: %s takes only a probability, got %q", k, v)
+			}
+			switch k {
+			case "reset":
+				cfg.ResetProb = p
+			case "corrupt":
+				cfg.CorruptReadProb, cfg.CorruptWriteProb = p, p
+			case "corruptr":
+				cfg.CorruptReadProb = p
+			case "corruptw":
+				cfg.CorruptWriteProb = p
+			case "short":
+				cfg.ShortWriteProb = p
+			case "frag":
+				cfg.FragmentProb = p
+			case "accept":
+				cfg.AcceptFailProb = p
+			}
+		default:
+			return cfg, fmt.Errorf("faults: unknown fault %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+// parseProb splits "P" or "P:rest" and validates P in [0, 1].
+func parseProb(k, v string) (float64, string, error) {
+	ps, rest, _ := strings.Cut(v, ":")
+	p, err := strconv.ParseFloat(ps, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, "", fmt.Errorf("faults: %s probability %q not in [0, 1]", k, ps)
+	}
+	return p, rest, nil
+}

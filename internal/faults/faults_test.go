@@ -1,0 +1,299 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"optiql/internal/obs"
+)
+
+// pipePair builds a real TCP pair so RST/linger behavior is exercised
+// for real, wrapping the server side with in.
+func pipePair(t *testing.T, in *Injector) (wrapped net.Conn, peer net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- res{nc, err}
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cl.Close(); r.nc.Close() })
+	return in.WrapConn(r.nc), cl
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	// Two injectors with the same seed must make identical decision
+	// sequences for the same connection ordinal.
+	cfg := Config{Seed: 42, ResetProb: 0.3, CorruptWriteProb: 0.2, LatencyProb: 0.1}
+	a := NewInjector(cfg).WrapConn(nil)
+	b := NewInjector(cfg).WrapConn(nil)
+	for i := 0; i < 1000; i++ {
+		if a.rng.hit(0.5) != b.rng.hit(0.5) || a.rrng.hit(0.25) != b.rrng.hit(0.25) {
+			t.Fatalf("decision streams diverged at %d", i)
+		}
+	}
+	// Different connections from one injector must differ (with these
+	// many draws, identical streams would be astronomically unlikely).
+	in := NewInjector(cfg)
+	c1, c2 := in.WrapConn(nil), in.WrapConn(nil)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.rng.hit(0.5) == c2.rng.hit(0.5) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("two connections share one decision stream")
+	}
+}
+
+func TestHitProbabilityBounds(t *testing.T) {
+	r := rng{s: 7}
+	for i := 0; i < 100; i++ {
+		if r.hit(0) {
+			t.Fatal("p=0 hit")
+		}
+		if !r.hit(1) {
+			t.Fatal("p=1 missed")
+		}
+	}
+	// Rough frequency check: p=0.5 over 10k draws lands near 5k.
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if r.hit(0.5) {
+			n++
+		}
+	}
+	if n < 4500 || n > 5500 {
+		t.Fatalf("p=0.5 hit %d/10000 times", n)
+	}
+}
+
+func TestCorruptWriteFlipsOneBit(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, CorruptWriteProb: 1})
+	wc, peer := pipePair(t, in)
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	if _, err := wc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range got {
+		x := got[i] ^ msg[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	// The caller's buffer must be untouched.
+	if !bytes.Equal(msg, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	if in.Stats().Corrupt != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestResetSurfacesToPeer(t *testing.T) {
+	in := NewInjector(Config{Seed: 9, ResetProb: 1})
+	wc, peer := pipePair(t, in)
+	_, err := wc.Write([]byte("x"))
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("reset write err = %v", err)
+	}
+	// The peer sees the connection die (RST or EOF depending on timing),
+	// never a hang.
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+	if in.Stats().Reset != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestShortWriteTruncates(t *testing.T) {
+	in := NewInjector(Config{Seed: 5, ShortWriteProb: 1})
+	wc, peer := pipePair(t, in)
+	msg := bytes.Repeat([]byte{1}, 100)
+	n, err := wc.Write(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("short write wrote %d of %d", n, len(msg))
+	}
+	wc.Close()
+	got, _ := io.ReadAll(peer)
+	if len(got) != n {
+		t.Fatalf("peer read %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+func TestFragmentDeliversEverything(t *testing.T) {
+	in := NewInjector(Config{Seed: 6, FragmentProb: 1})
+	wc, peer := pipePair(t, in)
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if n, err := wc.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("fragmented write = (%d, %v)", n, err)
+		}
+		wc.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	wg.Wait()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("peer got %d bytes (err %v), want %d intact", len(got), err, len(msg))
+	}
+	if in.Stats().Fragment == 0 {
+		t.Fatal("no fragment recorded")
+	}
+}
+
+func TestStallAndLatencyDelay(t *testing.T) {
+	in := NewInjector(Config{Seed: 8, StallProb: 1, StallDur: 30 * time.Millisecond})
+	wc, peer := pipePair(t, in)
+	go peer.Write([]byte("x"))
+	start := time.Now()
+	if _, err := wc.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stalled read returned after %v, want >= ~30ms", d)
+	}
+	if in.Stats().Stall != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestAcceptFailureIsTemporary(t *testing.T) {
+	in := NewInjector(Config{Seed: 4, AcceptFailProb: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := in.WrapListener(ln)
+	defer wl.Close()
+	go net.Dial("tcp", ln.Addr().String())
+	_, err = wl.Accept()
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("accept err = %v", err)
+	}
+	var ne interface{ Temporary() bool }
+	if !errors.As(err, &ne) || !ne.Temporary() {
+		t.Fatalf("injected accept failure not temporary: %v", err)
+	}
+	if in.Stats().AcceptFail != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestDisabledInjectsNothing(t *testing.T) {
+	in := NewInjector(Config{Seed: 2, ResetProb: 1, CorruptWriteProb: 1, ShortWriteProb: 1})
+	in.SetEnabled(false)
+	wc, peer := pipePair(t, in)
+	msg := []byte("hello world")
+	if n, err := wc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("disabled write = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("disabled transfer corrupted: %q (%v)", got, err)
+	}
+	if in.Stats().Total() != 0 {
+		t.Fatalf("disabled injector counted faults: %+v", in.Stats())
+	}
+}
+
+func TestObsCountersMirrored(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := NewInjector(Config{Seed: 11, CorruptWriteProb: 1, Counters: reg.NewCounters()})
+	wc, peer := pipePair(t, in)
+	go io.Copy(io.Discard, peer)
+	if _, err := wc.Write([]byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Get(obs.EvFaultCorrupt); got != 1 {
+		t.Fatalf("obs fault_corrupt = %d, want 1", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := Parse("latency=0.1:200us-2ms, stall=0.02:50ms,reset=0.01,corrupt=0.005,short=0.03,frag=0.25,accept=0.05,seed=42,corruptw=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed:        42,
+		LatencyProb: 0.1, LatencyMin: 200 * time.Microsecond, LatencyMax: 2 * time.Millisecond,
+		StallProb: 0.02, StallDur: 50 * time.Millisecond,
+		ResetProb: 0.01, CorruptReadProb: 0.005, CorruptWriteProb: 0.5,
+		ShortWriteProb: 0.03, FragmentProb: 0.25, AcceptFailProb: 0.05,
+	}
+	if cfg != want {
+		t.Fatalf("Parse = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Any() {
+		t.Fatal("parsed config reports no faults")
+	}
+
+	if cfg, err := Parse(""); err != nil || cfg.Any() {
+		t.Fatalf("empty spec = %+v, %v", cfg, err)
+	}
+	if cfg, err := Parse("latency=0.5"); err != nil || cfg.LatencyMin != 100*time.Microsecond || cfg.LatencyMax != time.Millisecond {
+		t.Fatalf("default latency range = %+v, %v", cfg, err)
+	}
+	if cfg, err := Parse("stall=0.5"); err != nil || cfg.StallDur != 10*time.Millisecond {
+		t.Fatalf("default stall duration = %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"latency", "bogus=1", "reset=2", "reset=-0.1", "reset=x", "seed=zz", "reset=0.1:5ms"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIsInjected(t *testing.T) {
+	if IsInjected(io.EOF) || IsInjected(nil) {
+		t.Fatal("IsInjected misfired")
+	}
+	err := &errInjected{kind: "x"}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected missed a direct injected error")
+	}
+	if !IsInjected(&net.OpError{Op: "read", Err: err}) {
+		t.Fatal("IsInjected missed a wrapped injected error")
+	}
+}

@@ -62,6 +62,48 @@ const (
 	// EvARTExpand counts ART contention expansions (Section 6.2).
 	EvARTExpand
 
+	// The events below extend the taxonomy from the lock to the system
+	// around it: the fault-injection layer (internal/faults), the
+	// hardened server (internal/server) and the reconnecting client
+	// (internal/server/wire). TXSQL-style robustness — admission
+	// control, shedding, bounded retries — is accounted in the same
+	// registry so one -json report shows the lock and the network layer
+	// degrading (or not) together.
+
+	// EvFaultLatency counts injected send/receive delays.
+	EvFaultLatency
+	// EvFaultStall counts injected read stalls (slow-loris peer).
+	EvFaultStall
+	// EvFaultShortWrite counts injected short writes (the connection is
+	// broken mid-frame).
+	EvFaultShortWrite
+	// EvFaultFragment counts writes split into delayed fragments
+	// (exercises frame reassembly on the peer).
+	EvFaultFragment
+	// EvFaultReset counts injected hard connection resets.
+	EvFaultReset
+	// EvFaultCorrupt counts injected single-bit payload corruptions.
+	EvFaultCorrupt
+	// EvFaultAcceptFail counts injected listener accept failures.
+	EvFaultAcceptFail
+	// EvSrvPanic counts handler panics recovered by the server (the
+	// request is answered with StatusErr; the process survives).
+	EvSrvPanic
+	// EvSrvShed counts writes shed with StatusOverloaded because the
+	// shard's in-flight budget was exhausted.
+	EvSrvShed
+	// EvSrvReap counts connections reaped by the server's read deadline
+	// (idle or slow-loris peers).
+	EvSrvReap
+	// EvCliRetry counts requests a ReconnClient retried after a
+	// retryable failure or an overload answer.
+	EvCliRetry
+	// EvCliReconnect counts connections a ReconnClient re-established.
+	EvCliReconnect
+	// EvCliOverloaded counts StatusOverloaded answers a ReconnClient
+	// observed (each backed off before retrying).
+	EvCliOverloaded
+
 	// NumEvents is the number of counter slots; it is NOT an event.
 	NumEvents
 )
@@ -80,6 +122,19 @@ var eventNames = [NumEvents]string{
 	EvBTreeSplit:      "btree_split",
 	EvBTreeMerge:      "btree_merge",
 	EvARTExpand:       "art_expansion",
+	EvFaultLatency:    "fault_latency",
+	EvFaultStall:      "fault_stall",
+	EvFaultShortWrite: "fault_short_write",
+	EvFaultFragment:   "fault_fragment",
+	EvFaultReset:      "fault_reset",
+	EvFaultCorrupt:    "fault_corrupt",
+	EvFaultAcceptFail: "fault_accept_fail",
+	EvSrvPanic:        "srv_panic_recovered",
+	EvSrvShed:         "srv_overload_shed",
+	EvSrvReap:         "srv_conn_reaped",
+	EvCliRetry:        "cli_retry",
+	EvCliReconnect:    "cli_reconnect",
+	EvCliOverloaded:   "cli_overloaded",
 }
 
 // Name returns the event's stable snake_case identifier.
@@ -112,8 +167,12 @@ const countersSize = (int(NumEvents)*8 + cacheLine - 1) / cacheLine * cacheLine
 // the adds are uncontended single-cacheline operations, while the live
 // /metrics handler can read a consistent value concurrently.
 type Counters struct {
-	c [NumEvents]atomic.Uint64
+	// The pad sits first: a zero-length trailing array would itself be
+	// padded (Go sizes structs so a past-the-end pointer to a final
+	// zero-size field stays in bounds), breaking the exact-multiple
+	// sizing when the counter array already fills whole lines.
 	_ [countersSize - int(NumEvents)*8]byte
+	c [NumEvents]atomic.Uint64
 }
 
 // Inc adds one to the event's counter. Safe (and a no-op) on nil.

@@ -1,6 +1,10 @@
 package server
 
 import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
 	"optiql/internal/locks"
 	"optiql/internal/server/wire"
 )
@@ -29,6 +33,11 @@ type executor struct {
 	batchMax int
 	ctx      *locks.Ctx
 	srv      *Server
+	// inflight approximates the shard's queued-but-unexecuted writes;
+	// admission control (Config.InflightMax) sheds against it. The
+	// check-then-add on the submit side races benignly: the budget is a
+	// degradation threshold, not an exact capacity.
+	inflight atomic.Int64
 }
 
 // run is the executor goroutine. It exits when ch is closed and
@@ -60,8 +69,26 @@ func (e *executor) run() {
 	}
 }
 
-// apply executes one mutation and completes its slot.
+// apply executes one mutation and completes its slot. A panic from an
+// index call is contained: the slot is answered with StatusErr, the
+// op is completed (the writer and Shutdown never wait on a slot
+// nothing will fill), and the executor keeps draining its queue.
 func (e *executor) apply(w *writeOp) {
+	defer e.inflight.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			w.slot.Status = wire.StatusErr
+			w.slot.Err = fmt.Sprintf("internal error: %v", r)
+			e.srv.noteRecoveredPanic()
+			// Panics originate in the index calls, before the normal-path
+			// opDone below — completing here cannot double-complete.
+			w.p.opDone()
+		}
+	}()
+	if d := e.srv.hooks.execDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	e.srv.maybePanic(w.key)
 	switch w.op {
 	case wire.OpPut:
 		inserted := e.idx.Insert(e.ctx, w.key, w.val)

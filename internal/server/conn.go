@@ -3,12 +3,15 @@ package server
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"optiql/internal/locks"
+	"optiql/internal/obs"
 	"optiql/internal/server/wire"
 )
 
@@ -62,6 +65,11 @@ type conn struct {
 const respQDepth = 512
 
 func (s *Server) serveConn(nc net.Conn) {
+	// Pipelined small frames suffer under Nagle, and dead peers on idle
+	// connections are only detected by keep-alive probes; set both
+	// explicitly rather than trusting OS defaults (TuneTCP reaches the
+	// *net.TCPConn through any chaos wrapper).
+	wire.TuneTCP(nc)
 	c := &conn{
 		srv:       s,
 		nc:        nc,
@@ -101,8 +109,15 @@ func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
 	var buf []byte
 	for {
+		c.armRead()
 		payload, err := wire.ReadFrame(br, &buf)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) && !c.srv.closing.Load() {
+				// The configured read deadline fired: an idle connection
+				// or a slow-loris peer trickling a frame. Reap it.
+				c.srv.stats.reaped.Add(1)
+				c.srv.resil.Inc(obs.EvSrvReap)
+			}
 			c.fail(err)
 			return
 		}
@@ -113,7 +128,26 @@ func (c *conn) readLoop() {
 		}
 		p := newPending(req)
 		c.respQ <- p // admission: response order fixed here
-		c.dispatch(ctx, p)
+		if !c.dispatch(ctx, p) {
+			// A handler panic was contained: every constituent of p got a
+			// StatusErr answer, but this connection's state is suspect —
+			// stop reading and let the writer drain and close it. Other
+			// connections (and the process) carry on.
+			return
+		}
+	}
+}
+
+// armRead applies the configured per-frame read deadline. Shutdown
+// may concurrently be nudging readers loose with an expired deadline;
+// re-check closing after arming so that nudge is never overwritten
+// with a live deadline.
+func (c *conn) armRead() {
+	if rt := c.srv.cfg.ReadTimeout; rt > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(rt))
+		if c.srv.closing.Load() {
+			c.nc.SetReadDeadline(closedDeadline)
+		}
 	}
 }
 
@@ -129,7 +163,8 @@ func (c *conn) fail(err error) {
 	c.respQ <- p
 }
 
-// dispatch routes one admitted request. Reads (GET, SCAN) execute
+// dispatch routes one admitted request, reporting false if a handler
+// panic was contained while doing so. Reads (GET, SCAN) execute
 // inline on the reader's Ctx — optimistic shared acquisitions make
 // them safely concurrent with the shard executors — after waiting out
 // any older write this connection has in flight on the same shard.
@@ -137,23 +172,48 @@ func (c *conn) fail(err error) {
 // are routed individually and may execute in any order relative to
 // each other (its reads are not guaranteed to observe its writes);
 // the batch response is sent only when all of them have completed.
-func (c *conn) dispatch(ctx *locks.Ctx, p *pending) {
+func (c *conn) dispatch(ctx *locks.Ctx, p *pending) bool {
 	if p.req.Op == wire.OpBatch {
 		c.srv.stats.batches.Add(1)
 		for i := range p.req.Sub {
-			c.dispatchOne(ctx, p, &p.req.Sub[i], &p.resp.Sub[i])
+			if !c.dispatchOne(ctx, p, &p.req.Sub[i], &p.resp.Sub[i]) {
+				// A sub-operation panicked before the rest were routed:
+				// complete them with StatusErr so the batch response (and
+				// Shutdown) never waits on slots nothing will fill.
+				for j := i + 1; j < len(p.req.Sub); j++ {
+					p.resp.Sub[j].Status = wire.StatusErr
+					p.resp.Sub[j].Err = "aborted: earlier operation in batch panicked"
+					p.opDone()
+				}
+				return false
+			}
 		}
-		return
+		return true
 	}
-	c.dispatchOne(ctx, p, &p.req, &p.resp)
+	return c.dispatchOne(ctx, p, &p.req, &p.resp)
 }
 
-func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *wire.Response) {
+// dispatchOne routes one operation and reports whether it completed
+// without a handler panic. A panic inside an index call (a bug, or
+// the chaos tests' injected one) is contained here: the slot is
+// answered with StatusErr and accounted, so the client gets a
+// response and the process survives.
+func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *wire.Response) (ok bool) {
 	s := c.srv
+	defer func() {
+		if r := recover(); r != nil {
+			slot.Status = wire.StatusErr
+			slot.Err = fmt.Sprintf("internal error: %v", r)
+			s.noteRecoveredPanic()
+			p.opDone()
+			ok = false
+		}
+	}()
 	switch req.Op {
 	case wire.OpGet:
 		si := s.shardIdx(req.Key)
 		c.waitWrite(si, p)
+		s.maybePanic(req.Key)
 		if v, ok := s.shards[si].idx.Lookup(ctx, req.Key); ok {
 			slot.Status = wire.StatusOK
 			slot.Value = v
@@ -174,7 +234,21 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 		p.opDone()
 	case wire.OpPut, wire.OpDelete:
 		si := s.shardIdx(req.Key)
-		s.shards[si].exec.ch <- writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
+		ex := s.shards[si].exec
+		if max := int64(s.cfg.InflightMax); max > 0 && ex.inflight.Load() >= max {
+			// Admission control: the shard's queue is over budget, so shed
+			// this write instead of queuing (or blocking) behind it. The
+			// client is told explicitly — StatusOverloaded is safe to
+			// retry after backing off. lastWrite is NOT updated: nothing
+			// was queued, so reads have nothing new to wait for.
+			slot.Status = wire.StatusOverloaded
+			s.stats.shed.Add(1)
+			s.resil.Inc(obs.EvSrvShed)
+			p.opDone()
+			return true
+		}
+		ex.inflight.Add(1)
+		ex.ch <- writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
 		c.lastWrite[si] = p
 	default:
 		slot.Status = wire.StatusErr
@@ -182,6 +256,7 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 		s.stats.errors.Add(1)
 		p.opDone()
 	}
+	return true
 }
 
 // waitWrite blocks until this connection's latest write on shard si
@@ -206,6 +281,14 @@ func (c *conn) writeLoop() {
 	var buf []byte
 	var err error
 	broken := false
+	// A connection whose write path failed is useless: close it
+	// immediately so the reader (blocked on the next frame) and the
+	// peer (blocked on the lost response) both find out now rather
+	// than at their read deadlines.
+	brk := func() {
+		broken = true
+		c.nc.Close()
+	}
 	for p := range c.respQ {
 		<-p.ready
 		if broken {
@@ -220,21 +303,32 @@ func (c *conn) writeLoop() {
 			e := wire.Response{Status: wire.StatusErr, Err: err.Error()}
 			buf, err = wire.AppendResponse(buf[:0], &p.req, &e)
 			if err != nil {
-				broken = true
+				brk()
 				continue
 			}
 		}
+		c.armWrite()
 		if _, err = bw.Write(buf); err != nil {
-			broken = true
+			brk()
 			continue
 		}
 		if len(c.respQ) == 0 {
 			if err = bw.Flush(); err != nil {
-				broken = true
+				brk()
 			}
 		}
 	}
 	if !broken {
+		c.armWrite()
 		bw.Flush()
+	}
+}
+
+// armWrite applies the configured write deadline so a peer that stops
+// reading (full receive window forever) breaks the connection instead
+// of wedging this writer.
+func (c *conn) armWrite() {
+	if wt := c.srv.cfg.WriteTimeout; wt > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(wt))
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"optiql/internal/core"
+	"optiql/internal/faults"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
 )
@@ -41,6 +42,26 @@ type Config struct {
 	// BatchMax caps how many queued writes one executor wakeup groups
 	// (default 64).
 	BatchMax int
+	// ReadTimeout bounds how long the server waits for a complete
+	// request frame: connections idle longer are reaped and slow-loris
+	// peers (trickling a frame forever) cannot pin a goroutine. Zero
+	// disables the bound.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write/flush; a peer that stops
+	// reading gets its connection dropped instead of wedging the
+	// writer. Zero disables the bound.
+	WriteTimeout time.Duration
+	// InflightMax, when positive, is the per-shard admission budget:
+	// writes arriving while that many are already queued on the shard
+	// are shed with wire.StatusOverloaded instead of queuing (bounded
+	// degradation under oversubscription — the TXSQL move). Zero keeps
+	// the seed behavior: a full executor queue blocks the submitting
+	// connection, pushing backpressure to that client.
+	InflightMax int
+	// Chaos, when it enables any fault, wraps the listener and every
+	// accepted connection with the fault-injection layer (used by
+	// `optiqld -chaos` and the chaos e2e tests).
+	Chaos *faults.Config
 }
 
 func (c *Config) normalize() error {
@@ -75,6 +96,7 @@ var closedDeadline = time.Unix(1, 0)
 
 type serverStats struct {
 	conns, gets, puts, deletes, scans, batches, errors, ops atomic.Uint64
+	panics, shed, reaped                                    atomic.Uint64
 }
 
 // Stats is a point-in-time sample of the server's operation counters.
@@ -89,6 +111,15 @@ type Stats struct {
 	Batches uint64 `json:"batches"`
 	Errors  uint64 `json:"errors"`
 	Ops     uint64 `json:"ops"`
+	// Panics counts handler panics recovered (each answered with
+	// StatusErr; the process survived all of them).
+	Panics uint64 `json:"panics"`
+	// Shed counts writes answered with StatusOverloaded by admission
+	// control instead of being queued.
+	Shed uint64 `json:"shed"`
+	// Reaped counts connections closed by the read deadline (idle or
+	// slow-loris peers).
+	Reaped uint64 `json:"reaped"`
 }
 
 // Server is the sharded KV service. Create with New, bind with Listen
@@ -99,6 +130,10 @@ type Server struct {
 	pool   *core.Pool
 	reg    *obs.Registry
 	shards []*shard
+	inj    *faults.Injector
+	// resil is the dedicated counter set for server-level resilience
+	// events (recovered panics, sheds, reaped connections).
+	resil *obs.Counters
 
 	ln      net.Listener
 	mu      sync.Mutex
@@ -110,6 +145,31 @@ type Server struct {
 	execWG sync.WaitGroup
 
 	stats serverStats
+	hooks testHooks
+}
+
+// testHooks are in-package fault hooks the chaos tests use to inject
+// failures the transport layer cannot: a key whose operations panic
+// inside the handler, and an artificial per-write executor delay that
+// builds a standing queue so admission control has something to shed.
+// Both are inert (zero) outside tests.
+type testHooks struct {
+	panicKey  atomic.Uint64 // panic on ops touching this key (0 = off)
+	execDelay atomic.Int64  // ns slept per executor write (0 = off)
+}
+
+// maybePanic fires the injected handler panic for key k.
+func (s *Server) maybePanic(k uint64) {
+	if pk := s.hooks.panicKey.Load(); pk != 0 && pk == k {
+		panic(fmt.Sprintf("injected handler panic on key %#x", k))
+	}
+}
+
+// noteRecoveredPanic accounts one survived handler panic.
+func (s *Server) noteRecoveredPanic() {
+	s.stats.panics.Add(1)
+	s.stats.errors.Add(1)
+	s.resil.Inc(obs.EvSrvPanic)
 }
 
 // New builds the shards and starts their write executors. The server
@@ -124,6 +184,16 @@ func New(cfg Config) (*Server, error) {
 		pool:   core.NewPool(core.MaxQNodes),
 		reg:    obs.NewRegistry(),
 		conns:  make(map[*conn]struct{}),
+	}
+	s.resil = s.reg.NewCounters()
+	if cfg.Chaos.Any() {
+		chaos := *cfg.Chaos
+		if chaos.Counters == nil {
+			// Injections surface in the server's own counter registry
+			// (and therefore its /metrics and exit summary).
+			chaos.Counters = s.reg.NewCounters()
+		}
+		s.inj = faults.NewInjector(chaos)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		idx, err := newIndex(cfg.Index, s.scheme, cfg.NodeSize)
@@ -151,18 +221,26 @@ func (s *Server) shardIdx(k uint64) int {
 }
 
 // Listen binds the configured address and returns it (useful with
-// port 0). Call Serve afterwards, or use Start.
+// port 0). Call Serve afterwards, or use Start. With chaos configured
+// the listener (and every connection it accepts) is fault-wrapped.
 func (s *Server) Listen() (net.Addr, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	s.ln = ln
-	return ln.Addr(), nil
+	addr := ln.Addr()
+	if s.inj != nil {
+		s.ln = s.inj.WrapListener(ln)
+	} else {
+		s.ln = ln
+	}
+	return addr, nil
 }
 
 // Serve accepts connections until Shutdown closes the listener. It
-// returns nil on a shutdown-initiated stop.
+// returns nil on a shutdown-initiated stop. Transient accept failures
+// — injected chaos, EMFILE under fd pressure — are retried after a
+// short pause instead of killing the accept loop.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		if _, err := s.Listen(); err != nil {
@@ -175,11 +253,20 @@ func (s *Server) Serve() error {
 			if s.closing.Load() {
 				return nil
 			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				time.Sleep(time.Millisecond)
+				continue
+			}
 			return err
 		}
 		s.serveConn(nc)
 	}
 }
+
+// FaultInjector returns the server's chaos injector (nil when no
+// chaos was configured). Live experiments and the e2e harness use it
+// to read injection stats or disable faults for a verification phase.
+func (s *Server) FaultInjector() *faults.Injector { return s.inj }
 
 // Start is Listen plus Serve in a background goroutine.
 func (s *Server) Start() (net.Addr, error) {
@@ -243,6 +330,9 @@ func (s *Server) Stats() Stats {
 		Batches: s.stats.batches.Load(),
 		Errors:  s.stats.errors.Load(),
 		Ops:     s.stats.ops.Load(),
+		Panics:  s.stats.panics.Load(),
+		Shed:    s.stats.shed.Load(),
+		Reaped:  s.stats.reaped.Load(),
 	}
 }
 

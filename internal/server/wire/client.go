@@ -4,18 +4,27 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 )
 
 // Client is a pipelined protocol client: Send queues any number of
 // requests without waiting, Recv returns responses in request order. A
 // Client is not safe for concurrent use — drive each connection from
 // one goroutine, the same discipline the benchmark workers follow.
+//
+// A Client is poisoned by its first transport or decode error: once a
+// frame is lost or misparsed the request/response pairing on the
+// stream is unknowable, so every later Send/Recv/Do returns the same
+// sticky error immediately instead of silently desynchronizing. The
+// only recovery is a fresh connection (see ReconnClient).
 type Client struct {
 	nc      net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	pending []Request // FIFO of unanswered requests
 	rbuf    []byte
+	timeout time.Duration
+	err     error // sticky; set by the first transport/decode failure
 }
 
 // Dial connects to a server at addr.
@@ -27,8 +36,12 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(nc), nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. TCP connections get
+// TCP_NODELAY and keep-alive probes: the protocol pipelines many small
+// frames, so Nagle-delaying them costs latency for nothing, and
+// keep-alives surface dead peers on otherwise idle connections.
 func NewClient(nc net.Conn) *Client {
+	TuneTCP(nc)
 	return &Client{
 		nc: nc,
 		br: bufio.NewReaderSize(nc, 64<<10),
@@ -36,47 +49,117 @@ func NewClient(nc net.Conn) *Client {
 	}
 }
 
+// TuneTCP applies the transport settings both ends of the protocol
+// want on a TCP connection: no Nagle delay (pipelined small frames)
+// and keep-alive probes (dead-peer detection). It unwraps fault-
+// injection or similar wrappers exposing Unwrap() net.Conn, and is a
+// no-op on anything that is not ultimately a *net.TCPConn.
+func TuneTCP(nc net.Conn) {
+	for {
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+			return
+		}
+		u, ok := nc.(interface{ Unwrap() net.Conn })
+		if !ok {
+			return
+		}
+		nc = u.Unwrap()
+	}
+}
+
+// SetTimeout bounds each subsequent Recv (and the implicit flush
+// before it) with a deadline: a server that neither answers nor
+// closes within d yields a timeout error instead of pinning the
+// caller forever. Zero disables the bound.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Err returns the sticky error poisoning this client, if any.
+func (c *Client) Err() error { return c.err }
+
+// poison records the first fatal error and returns it.
+func (c *Client) poison(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
 // Send encodes and buffers one request; call Flush (or Recv, which
 // flushes first) to put it on the wire.
 func (c *Client) Send(r Request) error {
+	if c.err != nil {
+		return c.err
+	}
 	frame, err := AppendRequest(nil, &r)
 	if err != nil {
+		// Encoding errors are the caller's bug, not stream damage: the
+		// request never touched the wire, so the client stays usable.
 		return err
 	}
 	if _, err := c.bw.Write(frame); err != nil {
-		return err
+		return c.poison(err)
 	}
 	c.pending = append(c.pending, r)
 	return nil
 }
 
 // Flush writes all buffered requests to the connection.
-func (c *Client) Flush() error { return c.bw.Flush() }
+func (c *Client) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.armDeadline()
+	if err := c.bw.Flush(); err != nil {
+		return c.poison(err)
+	}
+	return nil
+}
 
 // Pending returns the number of sent-but-unanswered requests.
 func (c *Client) Pending() int { return len(c.pending) }
 
+// armDeadline applies the per-request timeout to the connection.
+func (c *Client) armDeadline() {
+	if c.timeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
 // Recv flushes buffered requests and reads the response to the oldest
-// pending one.
+// pending one. Transport and decode errors poison the client: the
+// stream can no longer be trusted to pair responses with requests.
 func (c *Client) Recv() (Response, error) {
+	if c.err != nil {
+		return Response{}, c.err
+	}
 	if len(c.pending) == 0 {
 		return Response{}, fmt.Errorf("wire: Recv with no pending request")
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.Flush(); err != nil {
 		return Response{}, err
 	}
 	payload, err := ReadFrame(c.br, &c.rbuf)
 	if err != nil {
-		return Response{}, err
+		return Response{}, c.poison(err)
 	}
 	req := c.pending[0]
 	c.pending = c.pending[1:]
-	return ParseResponse(payload, &req)
+	resp, err := ParseResponse(payload, &req)
+	if err != nil {
+		return resp, c.poison(err)
+	}
+	return resp, nil
 }
 
 // Do is the synchronous path: Send, Flush and Recv one request. It
 // must not be interleaved with outstanding pipelined requests.
 func (c *Client) Do(r Request) (Response, error) {
+	if c.err != nil {
+		return Response{}, c.err
+	}
 	if len(c.pending) != 0 {
 		return Response{}, fmt.Errorf("wire: Do with %d pipelined requests outstanding", len(c.pending))
 	}
@@ -91,7 +174,7 @@ func (c *Client) Do(r Request) (Response, error) {
 // read and closes. Responses can still be received afterwards.
 func (c *Client) CloseWrite() error {
 	if err := c.bw.Flush(); err != nil {
-		return err
+		return c.poison(err)
 	}
 	if tc, ok := c.nc.(*net.TCPConn); ok {
 		return tc.CloseWrite()

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"optiql/internal/obs"
+)
+
+// Retryable classifies an error from a protocol client: true means a
+// transport-level failure (timeout, reset, refused, closed, torn
+// frame) that a fresh connection may cure; false means a logical
+// error — a request that cannot encode, a misused API, a peer
+// violating the protocol — that retrying the same bytes cannot fix.
+// ReconnClient consults this for its dial/termination decisions; note
+// that for idempotent reads it reconnects and retries even on decode
+// (non-Retryable) errors, because a fresh connection resets the
+// stream that corruption desynchronized.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// ReconnStats counts one ReconnClient's resilience events.
+type ReconnStats struct {
+	// Dials is the number of connections established (first included).
+	Dials uint64 `json:"dials"`
+	// Reconnects is Dials minus the first connection.
+	Reconnects uint64 `json:"reconnects"`
+	// Retries counts request attempts beyond each request's first.
+	Retries uint64 `json:"retries"`
+	// Overloaded counts StatusOverloaded answers observed.
+	Overloaded uint64 `json:"overloaded"`
+	// Failures counts requests ultimately surfaced as errors.
+	Failures uint64 `json:"failures"`
+}
+
+// ReconnClient is a synchronous self-healing client: it dials lazily,
+// re-establishes the connection after transport failures with
+// truncated exponential backoff plus jitter (the same discipline as
+// the lock layer's OptLockBackoff, stretched from spin iterations to
+// wall-clock time), and transparently retries where that is safe:
+//
+//   - idempotent reads (GET, SCAN) are retried on any retryable error;
+//   - dial failures are retried for every opcode (nothing was sent);
+//   - StatusOverloaded answers are retried for every opcode after
+//     backing off (the server sheds before applying, so nothing
+//     happened);
+//   - writes whose connection died mid-request are NOT retried — the
+//     server may or may not have applied them — the error is surfaced
+//     and the caller decides (its own oracle, versioned values, ...).
+//
+// A ReconnClient is not safe for concurrent use, matching Client.
+type ReconnClient struct {
+	// Addr is the server address.
+	Addr string
+	// DialFunc, when set, replaces net.Dial (fault injection hooks in
+	// here). The returned connection is TCP-tuned automatically.
+	DialFunc func(addr string) (net.Conn, error)
+	// Timeout bounds each request attempt (default 5s; <0 disables).
+	Timeout time.Duration
+	// MaxRetries caps attempts beyond the first per request (default 8).
+	MaxRetries int
+	// BackoffMin/BackoffMax bound the truncated exponential backoff
+	// between attempts (defaults 1ms / 200ms).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Counters, when set, mirrors retries/reconnects/overload answers
+	// into the shared obs registry (EvCli*).
+	Counters *obs.Counters
+
+	cl    *Client
+	seed  uint64
+	stats ReconnStats
+}
+
+// NewReconnClient returns a client for addr with default policy.
+func NewReconnClient(addr string) *ReconnClient {
+	return &ReconnClient{Addr: addr}
+}
+
+func (rc *ReconnClient) defaults() {
+	if rc.Timeout == 0 {
+		rc.Timeout = 5 * time.Second
+	}
+	if rc.MaxRetries == 0 {
+		rc.MaxRetries = 8
+	}
+	if rc.BackoffMin <= 0 {
+		rc.BackoffMin = time.Millisecond
+	}
+	if rc.BackoffMax < rc.BackoffMin {
+		rc.BackoffMax = 200 * time.Millisecond
+	}
+	if rc.seed == 0 {
+		rc.seed = uint64(time.Now().UnixNano()) | 1
+	}
+}
+
+// Stats returns the client's resilience counters.
+func (rc *ReconnClient) Stats() ReconnStats { return rc.stats }
+
+// Connected reports whether a live connection is currently held.
+func (rc *ReconnClient) Connected() bool { return rc.cl != nil }
+
+// Close drops the current connection, if any.
+func (rc *ReconnClient) Close() error {
+	if rc.cl == nil {
+		return nil
+	}
+	err := rc.cl.Close()
+	rc.cl = nil
+	return err
+}
+
+func (rc *ReconnClient) connect() error {
+	dial := rc.DialFunc
+	var nc net.Conn
+	var err error
+	if dial != nil {
+		nc, err = dial(rc.Addr)
+	} else {
+		nc, err = net.Dial("tcp", rc.Addr)
+	}
+	if err != nil {
+		return err
+	}
+	rc.cl = NewClient(nc)
+	if rc.Timeout > 0 {
+		rc.cl.SetTimeout(rc.Timeout)
+	}
+	rc.stats.Dials++
+	if rc.stats.Dials > 1 {
+		rc.stats.Reconnects++
+		rc.Counters.Inc(obs.EvCliReconnect)
+	}
+	return nil
+}
+
+// nextRand is a splitmix64 step for backoff jitter.
+func (rc *ReconnClient) nextRand() uint64 {
+	rc.seed += 0x9E3779B97F4A7C15
+	x := rc.seed
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// backoff sleeps for a jittered delay under *limit and doubles the
+// limit, truncated at BackoffMax — the OptLockBackoff idiom on a
+// wall-clock scale.
+func (rc *ReconnClient) backoff(limit *time.Duration) {
+	d := *limit/2 + time.Duration(rc.nextRand()%uint64(*limit/2+1))
+	time.Sleep(d)
+	if *limit < rc.BackoffMax {
+		*limit *= 2
+		if *limit > rc.BackoffMax {
+			*limit = rc.BackoffMax
+		}
+	}
+}
+
+// retry accounts one retry decision.
+func (rc *ReconnClient) retry(limit *time.Duration) {
+	rc.stats.Retries++
+	rc.Counters.Inc(obs.EvCliRetry)
+	rc.backoff(limit)
+}
+
+// Do executes one request with the retry policy described on the
+// type. The last response/error is returned when the attempt budget
+// runs out (a final StatusOverloaded is returned as-is, not an error:
+// the server answered, the caller sees the shed).
+func (rc *ReconnClient) Do(req Request) (Response, error) {
+	rc.defaults()
+	idempotent := req.Op == OpGet || req.Op == OpScan
+	limit := rc.BackoffMin
+	attempts := 0
+	for {
+		if rc.cl == nil {
+			if err := rc.connect(); err != nil {
+				// Nothing was sent: every opcode may retry a failed dial.
+				if attempts >= rc.MaxRetries {
+					rc.stats.Failures++
+					return Response{}, err
+				}
+				attempts++
+				rc.retry(&limit)
+				continue
+			}
+		}
+		resp, err := rc.cl.Do(req)
+		if err == nil {
+			if resp.Status == StatusOverloaded {
+				rc.stats.Overloaded++
+				rc.Counters.Inc(obs.EvCliOverloaded)
+				if attempts >= rc.MaxRetries {
+					return resp, nil
+				}
+				attempts++
+				rc.retry(&limit) // connection is healthy; just shed
+				continue
+			}
+			return resp, nil
+		}
+		if rc.cl.Err() == nil {
+			// The connection is intact: the error is a logical one
+			// (unencodable request, misuse) that no retry can fix.
+			rc.stats.Failures++
+			return Response{}, err
+		}
+		// The stream is poisoned; only a new connection can continue.
+		// Reads retry on any poisoning error — transport or decode — a
+		// fresh connection resets the stream either way. Writes are
+		// indeterminate (the server may have applied them before the
+		// stream died), so the error is surfaced to the caller's own
+		// recovery instead.
+		rc.Close()
+		if !idempotent || attempts >= rc.MaxRetries {
+			rc.stats.Failures++
+			return Response{}, err
+		}
+		attempts++
+		rc.retry(&limit)
+	}
+}

@@ -27,6 +27,10 @@
 //	SCAN   n(4) then n key(8) value(8) pairs
 //	BATCH  n(4) then n sub-responses (status + body each)
 //	ERR    len(2) message      (any opcode; the connection then closes)
+//
+// NOT_FOUND and OVERLOADED carry no body. OVERLOADED answers a request
+// the server's admission control shed before executing it (see
+// internal/server); the request was not applied and may be retried.
 package wire
 
 import (
@@ -45,11 +49,14 @@ const (
 	OpBatch
 )
 
-// Response statuses.
+// Response statuses. StatusOverloaded means admission control shed
+// the request before executing it — nothing was applied, so any
+// request answered with it is safe to retry after backing off.
 const (
 	StatusOK byte = iota
 	StatusNotFound
 	StatusErr
+	StatusOverloaded
 )
 
 // Protocol limits. Frames above MaxFrame, scans above MaxScan and
@@ -344,7 +351,7 @@ func parseResponseBody(r *reader, req *Request) (Response, error) {
 		}
 		resp.Err = string(msg)
 		return resp, nil
-	case StatusNotFound:
+	case StatusNotFound, StatusOverloaded:
 		return resp, nil
 	case StatusOK:
 	default:
