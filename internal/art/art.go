@@ -19,9 +19,22 @@
 //     a prefix) instead create replacement nodes, re-point the parent,
 //     and mark the old node obsolete under its exclusive lock; its
 //     version bump on release invalidates in-flight optimistic readers.
-//   - Leaf keys are immutable; only leaf values are written, and only
-//     while the parent node (owner of the child slot) is held
-//     exclusively. Readers validate the parent version after reading.
+//   - Leaf keys are immutable while a leaf is reachable; only leaf
+//     values are written, and only while the parent node (owner of the
+//     child slot) is held exclusively. Readers validate the parent
+//     version after reading.
+//
+// Nodes and leaves are recycled through per-kind free lists (node.go in
+// the B+-tree has the same structure): a recycled object keeps its lock
+// — and therefore its monotone version history — and its kind for life.
+// Optimistic traversals acquire a child's version snapshot before
+// validating the parent, so any snapshot a reader ends up trusting was
+// taken while the node was still live; the exclusive release that
+// precedes every free bumps the version and fails all later
+// validations. The direct (blocking) paths, which skip that
+// revalidation by design, instead check the obsolete flag under the
+// lock and compare the per-life generation counter before treating
+// anything they see as evidence about the traversed key's path.
 package art
 
 import (
@@ -44,8 +57,10 @@ const (
 // keys a compressed path never exceeds 7 bytes.
 const maxPrefix = 8
 
-// leaf holds a full key (immutable) and its value (written only under
-// the parent node's exclusive lock).
+// leaf holds a full key and its value (written only under the parent
+// node's exclusive lock). Leaves are pooled: the key is immutable only
+// within one reachable life, so readers must validate the owner node
+// before trusting either field.
 type leaf struct {
 	key   uint64
 	value uint64
@@ -60,13 +75,28 @@ type ref struct {
 
 func (r ref) empty() bool { return r.n == nil && r.l == nil }
 
+// node is the common header of every inner node. The keys/children
+// slices alias inline arrays of the node's kind struct (one allocation
+// per node); the slice headers, the lock and the kind are written once
+// at construction and never change, even across recycled lives.
 type node struct {
 	lock locks.Lock
 	kind kind
-	// obsolete is set (under the exclusive lock) when the node has been
-	// replaced by a grown or prefix-split copy; threads that acquired
-	// the lock blockingly must check it before acting.
-	obsolete bool
+	// obsolete is true from construction until the node is published
+	// into a parent slot, and set again (under the exclusive lock) when
+	// the node is replaced or unlinked. Threads that acquired the lock
+	// blockingly — the direct update path and contention expansion —
+	// must check it before acting on anything else they read.
+	obsolete atomic.Bool
+	// level is the node's depth: the number of key bytes consumed
+	// before its prefix. Immutable per life, written before publication;
+	// the direct paths use it instead of the (possibly stale) traversal
+	// level.
+	level int
+	// gen counts the node's lives; it is bumped on every reuse. The
+	// direct paths compare it across their blocking acquisition to tell
+	// whether traversal-time evidence still applies (write.go).
+	gen atomic.Uint32
 	// numChildren is read racily by optimistic traversals; all derived
 	// indexing is clamped and validated by version checks.
 	numChildren int
@@ -80,6 +110,56 @@ type node struct {
 	// kind256 → unused.
 	keys     []byte
 	children []ref
+}
+
+// Flat node layout: one struct per kind embedding the header and the
+// inline key/child arrays, mirroring the single-allocation C++ nodes
+// the paper evaluates. The header's slices alias the arrays.
+type (
+	flat4 struct {
+		n node
+		k [4]byte
+		c [4]ref
+	}
+	flat16 struct {
+		n node
+		k [16]byte
+		c [16]ref
+	}
+	flat48 struct {
+		n node
+		k [256]byte
+		c [48]ref
+	}
+	flat256 struct {
+		n node
+		c [256]ref
+	}
+)
+
+// makeNode builds one node of the given kind as a single allocation.
+func makeNode(k kind) *node {
+	var n *node
+	switch k {
+	case kind4:
+		x := new(flat4)
+		x.n.keys, x.n.children = x.k[:], x.c[:]
+		n = &x.n
+	case kind16:
+		x := new(flat16)
+		x.n.keys, x.n.children = x.k[:], x.c[:]
+		n = &x.n
+	case kind48:
+		x := new(flat48)
+		x.n.keys, x.n.children = x.k[:], x.c[:]
+		n = &x.n
+	default:
+		x := new(flat256)
+		x.n.children = x.c[:]
+		n = &x.n
+	}
+	n.kind = k
+	return n
 }
 
 // Config parameterizes a Tree.
@@ -105,6 +185,10 @@ type Tree struct {
 	threshold  uint32
 	sampleInv  uint32
 	expand     bool
+	// nodeFree recycles replaced/unlinked nodes per kind (kind is
+	// immutable for an object's whole lifetime; see package comment).
+	nodeFree [4]*locks.Recycler
+	leafFree *locks.Recycler
 }
 
 // New creates an empty tree.
@@ -127,7 +211,12 @@ func New(cfg Config) (*Tree, error) {
 		sampleInv: cfg.SampleInverse,
 		expand:    !cfg.DisableExpansion,
 	}
-	t.root = t.newNode(kind256)
+	for i := range t.nodeFree {
+		t.nodeFree[i] = locks.NewRecycler()
+	}
+	t.leafFree = locks.NewRecycler()
+	t.root = t.newNode(nil, kind256)
+	t.root.obsolete.Store(false)
 	return t, nil
 }
 
@@ -147,29 +236,69 @@ func (t *Tree) Len() int { return int(t.size.Load()) }
 // (diagnostics for the Figure 13 experiment).
 func (t *Tree) Expansions() int { return int(t.expansions.Load()) }
 
-func (t *Tree) newNode(k kind) *node {
-	n := &node{lock: t.scheme.NewLock(), kind: k}
-	switch k {
-	case kind4:
-		n.keys = make([]byte, 4)
-		n.children = make([]ref, 4)
-	case kind16:
-		n.keys = make([]byte, 16)
-		n.children = make([]ref, 16)
-	case kind48:
-		n.keys = make([]byte, 256)
-		n.children = make([]ref, 48)
-	case kind256:
-		n.children = make([]ref, 256)
+// newNode returns an empty node of kind k, reusing a recycled one when
+// available. A recycled node keeps its lock and kind; its generation is
+// bumped so the direct paths can tell lives apart, and it stays marked
+// obsolete until the caller publishes it into a parent slot.
+func (t *Tree) newNode(c *locks.Ctx, k kind) *node {
+	if x := t.nodeFree[k].Get(c); x != nil {
+		n := x.(*node)
+		n.gen.Add(1)
+		locks.BumpOnReuse(n.lock)
+		n.numChildren = 0
+		n.prefixLen = 0
+		n.level = 0
+		n.contention.Store(0)
+		return n
 	}
+	n := makeNode(k)
+	n.lock = t.scheme.NewLock()
+	n.obsolete.Store(true)
 	return n
+}
+
+// freeNode recycles a node that has been unlinked or replaced. The
+// caller guarantees the node was marked obsolete under its exclusive
+// lock and that the lock has since been released (the release bumped
+// the version, so every in-flight optimistic reader fails validation).
+// Slots are cleared so the free list never pins live subtrees; the
+// kind48 indirection table is cleared so a reused node starts from a
+// consistent empty mapping.
+func (t *Tree) freeNode(c *locks.Ctx, n *node) {
+	n.obsolete.Store(true) // free sites set it under the lock; defensive
+	n.numChildren = 0
+	for i := range n.keys {
+		n.keys[i] = 0
+	}
+	for i := range n.children {
+		n.children[i] = ref{}
+	}
+	t.nodeFree[n.kind].Put(c, n)
+}
+
+// newLeaf returns a leaf holding (k, v), reusing a recycled one when
+// available. Stale optimistic readers that race onto a reused leaf read
+// the new key/value, but always validate the owner node — which changed
+// when the leaf was unlinked — before trusting them.
+func (t *Tree) newLeaf(c *locks.Ctx, k, v uint64) *leaf {
+	if x := t.leafFree.Get(c); x != nil {
+		l := x.(*leaf)
+		l.key, l.value = k, v
+		return l
+	}
+	return &leaf{key: k, value: v}
+}
+
+// freeLeaf recycles a leaf removed from its owner node.
+func (t *Tree) freeLeaf(c *locks.Ctx, l *leaf) {
+	t.leafFree.Put(c, l)
 }
 
 // keyByte returns byte i (0 = most significant) of the big-endian key.
 func keyByte(k uint64, i int) byte { return byte(k >> (56 - 8*i)) }
 
-// checkPrefix compares the node's (immutable) prefix against the key
-// bytes starting at level, returning the number of matching bytes.
+// checkPrefix compares the node's prefix against the key bytes starting
+// at level, returning the number of matching bytes.
 func checkPrefix(n *node, k uint64, level int) int {
 	for i := 0; i < n.prefixLen; i++ {
 		if level+i >= 8 || keyByte(k, level+i) != n.prefix[i] {
@@ -318,21 +447,22 @@ func (n *node) removeChild(b byte) bool {
 	return false
 }
 
-// grow returns a copy of n one kind larger, carrying the same prefix
-// and children. Caller holds n exclusively and publishes the copy
+// grow returns a copy of n one kind larger, carrying the same prefix,
+// level and children. Caller holds n exclusively and publishes the copy
 // through the (also locked) parent before marking n obsolete.
-func (t *Tree) grow(n *node) *node {
+func (t *Tree) grow(c *locks.Ctx, n *node) *node {
 	var big *node
 	switch n.kind {
 	case kind4:
-		big = t.newNode(kind16)
+		big = t.newNode(c, kind16)
 	case kind16:
-		big = t.newNode(kind48)
+		big = t.newNode(c, kind48)
 	case kind48:
-		big = t.newNode(kind256)
+		big = t.newNode(c, kind256)
 	default:
 		panic("art: grow of Node256")
 	}
+	big.level = n.level
 	big.prefixLen = n.prefixLen
 	big.prefix = n.prefix
 	switch n.kind {

@@ -254,7 +254,7 @@ func TestContentionExpansion(t *testing.T) {
 
 	// Force expansion directly through the internal hook (the
 	// concurrent path is probabilistic; the mechanism is determinstic).
-	tr.tryExpand(c, tr.root, 0, k)
+	tr.tryExpand(c, tr.root, k)
 	if tr.Expansions() != 1 {
 		t.Fatalf("expansions = %d, want 1", tr.Expansions())
 	}
@@ -268,7 +268,7 @@ func TestContentionExpansion(t *testing.T) {
 		t.Fatal("update lost after expansion")
 	}
 	// A second expansion attempt must be a no-op.
-	tr.tryExpand(c, tr.root, 0, k)
+	tr.tryExpand(c, tr.root, k)
 	if tr.Expansions() != 1 {
 		t.Fatalf("expansion repeated: %d", tr.Expansions())
 	}
@@ -294,12 +294,12 @@ func TestNoteContentionTriggersExpansion(t *testing.T) {
 	k := sparse(99)
 	tr.Insert(c, k, 1)
 	for i := 0; i < 4; i++ {
-		tr.noteContention(c, tr.root, 0, k)
+		tr.noteContention(c, tr.root, k)
 		if tr.Expansions() != 0 {
 			t.Fatalf("expanded after only %d failures", i+1)
 		}
 	}
-	tr.noteContention(c, tr.root, 0, k)
+	tr.noteContention(c, tr.root, k)
 	if tr.Expansions() != 1 {
 		t.Fatalf("expansions = %d after threshold reached", tr.Expansions())
 	}
@@ -319,7 +319,7 @@ func TestNoteContentionTriggersExpansion(t *testing.T) {
 	})
 	tr2.Insert(c, k, 1)
 	for i := 0; i < 10; i++ {
-		tr2.noteContention(c, tr2.root, 0, k)
+		tr2.noteContention(c, tr2.root, k)
 	}
 	if tr2.Expansions() != 0 {
 		t.Fatal("expansion fired despite DisableExpansion")

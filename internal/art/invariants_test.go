@@ -118,7 +118,7 @@ func TestInvariantsAfterExpansion(t *testing.T) {
 	}
 	// Expand several hot paths explicitly.
 	for i := uint64(0); i < 500; i += 50 {
-		tr.noteContention(c, tr.root, 0, sparse(i))
+		tr.noteContention(c, tr.root, sparse(i))
 	}
 	if tr.Expansions() == 0 {
 		t.Fatal("no expansion happened")

@@ -86,7 +86,7 @@ func TestExpansionCounter(t *testing.T) {
 
 	// The leaf hangs directly off the root (level 0); one contention
 	// note crosses the threshold and materializes the path.
-	tr.noteContention(c, tr.root, 0, k)
+	tr.noteContention(c, tr.root, k)
 	snap := reg.Snapshot()
 	if got := snap.Get(obs.EvARTExpand); got != 1 {
 		t.Fatalf("art_expansion = %d, want 1", got)
@@ -97,7 +97,7 @@ func TestExpansionCounter(t *testing.T) {
 
 	// The slot now holds a node, not a leaf: a second note is a no-op.
 	tr.root.contention.Store(0)
-	tr.noteContention(c, tr.root, 0, k)
+	tr.noteContention(c, tr.root, k)
 	if got := reg.Snapshot().Get(obs.EvARTExpand); got != 1 {
 		t.Fatalf("art_expansion after no-op = %d, want 1", got)
 	}

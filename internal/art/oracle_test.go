@@ -19,12 +19,7 @@ func oracleOptions() indextest.Options {
 			return tr, nil
 		},
 		Scan: func(idx indextest.Index, c *locks.Ctx, start uint64, max int) []indextest.KV {
-			out := idx.(*Tree).Scan(c, start, max, nil)
-			kvs := make([]indextest.KV, len(out))
-			for i, kv := range out {
-				kvs[i] = indextest.KV{Key: kv.Key, Value: kv.Value}
-			}
-			return kvs
+			return idx.(*Tree).Scan(c, start, max, nil)
 		},
 		Invariants: func(t *testing.T, idx indextest.Index) { checkInvariants(t, idx.(*Tree)) },
 	}
@@ -37,6 +32,18 @@ func oracleOptions() indextest.Options {
 // node4/16/48/256 ladder.
 func TestConcurrentOracle(t *testing.T) {
 	indextest.Run(t, oracleOptions())
+}
+
+// TestConcurrentOracleChurn is the recycle-stress workload:
+// insert/delete floods force continuous grow/shrink/compress cycles,
+// so freed nodes and leaves are constantly republished from the
+// per-Ctx free lists while concurrent readers and scanners validate
+// against their bumped versions. Under -race the harness runs the
+// pessimistic schemes, checking the recycler's happens-before edges.
+func TestConcurrentOracleChurn(t *testing.T) {
+	o := oracleOptions()
+	o.Churn = true
+	indextest.Run(t, o)
 }
 
 // TestConcurrentOracleSparse drives the same workload over sparse

@@ -2,17 +2,16 @@ package art
 
 import (
 	"errors"
-	"sort"
+	"sync"
 
+	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
 )
 
-// KV is a key/value pair returned by Scan.
-type KV struct {
-	Key   uint64
-	Value uint64
-}
+// KV is a key/value pair returned by Scan. It aliases the repo-wide
+// pair type so server scan buffers pass through without conversion.
+type KV = kv.KV
 
 // errRestart aborts the current scan attempt after a failed validation;
 // the scan resumes from the first uncollected key.
@@ -25,8 +24,29 @@ type pathEnt struct {
 	tok locks.Token
 }
 
-// Scan collects up to max pairs with keys >= start in ascending key
-// order, appending to out and returning the extended slice.
+// maxDepth bounds a walk: level strictly grows per recursion and stays
+// below 8, so a valid path holds at most 9 nodes (root at level 0).
+const maxDepth = 9
+
+// slotEnt is one populated child slot snapshotted in branch-byte order.
+type slotEnt struct {
+	b byte
+	r ref
+}
+
+// scanScratch is the per-walk scratch space: the validation path and
+// one slot-snapshot buffer per level. Pooled so a scan performs no
+// per-node (or even per-call) allocation.
+type scanScratch struct {
+	path  [maxDepth]pathEnt
+	slots [maxDepth][256]slotEnt
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// Scan appends up to max pairs with keys >= start in ascending key
+// order to out and returns the extended slice; any pairs already in
+// out are left alone and do not count against max.
 //
 // The traversal is a depth-first walk in branch-byte order. Under
 // optimistic schemes each pair is committed only after re-validating
@@ -41,14 +61,18 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	if max <= 0 {
 		return out
 	}
+	sc := scanScratchPool.Get().(*scanScratch)
+	defer scanScratchPool.Put(sc)
+	base := len(out)
+	limit := base + max
 	resume := start
-	for len(out) < max {
-		err := t.scanWalk(c, t.root, 0, resume, true, max, &out, nil)
+	for len(out) < limit {
+		err := t.scanWalk(c, t.root, 0, resume, true, limit, &out, sc, 0)
 		if err == nil {
 			return out
 		}
 		c.Counters().Inc(obs.EvOpRestart)
-		if len(out) > 0 {
+		if len(out) > base {
 			last := out[len(out)-1].Key
 			if last == ^uint64(0) {
 				return out
@@ -63,7 +87,19 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 // path to n still matches resume's byte prefix (the bound can cut into
 // this subtree); once the path exceeds the bound everything below is
 // collected unconditionally.
-func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBoundary bool, max int, out *[]KV, path []pathEnt) error {
+//
+// With node recycling, a node's prefix (and everything else) is stable
+// only within one life, so every way out of the walk that could have
+// skipped keys — the prefix prune and the normal end of the slot loop,
+// whose boundary test may have dropped slots — revalidates the node's
+// snapshot first. That makes the walk inductively sound: a subtree
+// returning nil was read from a node that did not change while it was
+// being read, and its parent's own exit validation extends the chain
+// upward.
+func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBoundary bool, limit int, out *[]KV, sc *scanScratch, depth int) error {
+	if depth >= maxDepth {
+		return errRestart // deeper than any valid path: torn read upstream
+	}
 	tok, ok := n.lock.AcquireSh(c)
 	if !ok {
 		return errRestart
@@ -72,10 +108,8 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 	if pessimistic {
 		defer n.lock.ReleaseSh(c, tok)
 	}
-	// The prefix is immutable, so it can be compared without
-	// validation.
 	if onBoundary {
-		for i := 0; i < n.prefixLen; i++ {
+		for i := 0; i < n.prefixLen && i < maxPrefix; i++ {
 			pb := n.prefix[i]
 			rb := keyByte(resume, level+i)
 			if pb > rb {
@@ -83,7 +117,13 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 				break
 			}
 			if pb < rb {
-				return nil // entire subtree below the bound
+				// Entire subtree below the bound — but only if the
+				// prefix bytes just compared belong to an unchanged
+				// node.
+				if !pessimistic && !n.lock.ReleaseSh(c, tok) {
+					return errRestart
+				}
+				return nil
 			}
 		}
 	}
@@ -96,38 +136,41 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 
 	// Snapshot the populated slots in branch-byte order, then validate
 	// the snapshot before dereferencing anything in it.
-	type slot struct {
-		b byte
-		r ref
-	}
-	var slots []slot
+	slots := sc.slots[depth][:0]
 	switch n.kind {
 	case kind4, kind16:
 		cnt := n.clampedChildren()
 		for i := 0; i < cnt; i++ {
-			slots = append(slots, slot{n.keys[i], n.children[i]})
+			slots = append(slots, slotEnt{n.keys[i], n.children[i]})
 		}
-		sort.Slice(slots, func(i, j int) bool { return slots[i].b < slots[j].b })
+		// Insertion sort: at most 16 entries, no closure allocation.
+		for i := 1; i < len(slots); i++ {
+			for j := i; j > 0 && slots[j-1].b > slots[j].b; j-- {
+				slots[j-1], slots[j] = slots[j], slots[j-1]
+			}
+		}
 	case kind48:
 		for b := 0; b < 256; b++ {
 			if idx := n.keys[b]; idx != 0 && int(idx) <= len(n.children) {
-				slots = append(slots, slot{byte(b), n.children[idx-1]})
+				slots = append(slots, slotEnt{byte(b), n.children[idx-1]})
 			}
 		}
 	case kind256:
 		for b := 0; b < 256; b++ {
 			if r := n.children[b]; !r.empty() {
-				slots = append(slots, slot{byte(b), r})
+				slots = append(slots, slotEnt{byte(b), r})
 			}
 		}
 	}
 	if !pessimistic && !n.lock.ReleaseSh(c, tok) {
 		return errRestart
 	}
-	path = append(path, pathEnt{n.lock, tok})
+	sc.path[depth] = pathEnt{n.lock, tok}
+	path := sc.path[:depth+1]
 
-	for _, s := range slots {
-		if len(*out) >= max {
+	for i := range slots {
+		s := slots[i]
+		if len(*out) >= limit {
 			return nil
 		}
 		if onBoundary && s.b < boundByte {
@@ -141,15 +184,20 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 				return errRestart
 			}
 			if key >= resume {
-				*out = append(*out, KV{key, val})
+				*out = append(*out, KV{Key: key, Value: val})
 			}
 			continue
 		}
 		if s.r.n != nil {
-			if err := t.scanWalk(c, s.r.n, pos+1, resume, childOnBoundary, max, out, path); err != nil {
+			if err := t.scanWalk(c, s.r.n, pos+1, resume, childOnBoundary, limit, out, sc, depth+1); err != nil {
 				return err
 			}
 		}
+	}
+	// Exit validation: the boundary test above may have skipped slots
+	// based on this snapshot; prove the snapshot was stable.
+	if !pessimistic && !n.lock.ReleaseSh(c, tok) {
+		return errRestart
 	}
 	return nil
 }

@@ -19,7 +19,8 @@ import "optiql/internal/locks"
 //
 // All of this is best-effort: any failed upgrade simply leaves the
 // (correct, just unshrunk) structure for a later deleter, so the
-// paths stay cheap under contention.
+// paths stay cheap under contention. Unlinked nodes are handed back to
+// the caller for recycling once their locks are released.
 
 // shrinkThreshold reports whether a node with n children of kind k is
 // worth shrinking. Hysteresis (strictly below the smaller capacity)
@@ -41,40 +42,45 @@ func shrinkWorthy(k kind, n int) bool {
 // shrinkLocked replaces n (at pn.children[pb]) with a tighter
 // representation; the caller holds both pn and n exclusively. The
 // upgrade of pn is a non-blocking try even though n is already held,
-// so there is no lock-order deadlock risk on this path.
-func (t *Tree) shrinkLocked(c *locks.Ctx, pn *node, pb byte, n *node) {
+// so there is no lock-order deadlock risk on this path. fn, when
+// non-nil, is n itself, unlinked and to be recycled by the caller
+// after releasing its lock; fc is a merged-away child whose lock has
+// already been released.
+func (t *Tree) shrinkLocked(c *locks.Ctx, pn *node, pb byte, n *node) (fn, fc *node) {
 	if !shrinkWorthy(n.kind, n.numChildren) {
-		return
+		return nil, nil
 	}
 	if n.kind == kind4 && n.numChildren == 1 {
-		t.compressPath(c, pn, pb, n)
-		return
+		return t.compressPath(c, pn, pb, n)
 	}
 	if n.numChildren == 0 {
 		// Fully emptied: clear the parent slot.
 		pn.removeChild(pb)
-		n.obsolete = true
-		return
+		n.obsolete.Store(true)
+		return n, nil
 	}
-	small := t.shrunk(n)
+	small := t.shrunk(c, n)
 	pn.replaceChild(pb, ref{n: small})
-	n.obsolete = true
+	small.obsolete.Store(false)
+	n.obsolete.Store(true)
+	return n, nil
 }
 
 // shrunk builds the next-smaller-kind copy of n. Caller holds n
 // exclusively.
-func (t *Tree) shrunk(n *node) *node {
+func (t *Tree) shrunk(c *locks.Ctx, n *node) *node {
 	var small *node
 	switch n.kind {
 	case kind16:
-		small = t.newNode(kind4)
+		small = t.newNode(c, kind4)
 	case kind48:
-		small = t.newNode(kind16)
+		small = t.newNode(c, kind16)
 	case kind256:
-		small = t.newNode(kind48)
+		small = t.newNode(c, kind48)
 	default:
 		panic("art: shrunk of Node4")
 	}
+	small.level = n.level
 	small.prefixLen = n.prefixLen
 	small.prefix = n.prefix
 	switch n.kind {
@@ -101,14 +107,16 @@ func (t *Tree) shrunk(n *node) *node {
 // compressPath folds a single-child Node4 out of the tree. The parent
 // and n are exclusively held; an inner-node child is additionally
 // locked (upgrade from a fresh read) while its extended-prefix copy is
-// made, and marked obsolete.
-func (t *Tree) compressPath(c *locks.Ctx, pn *node, pb byte, n *node) {
+// made, then marked obsolete and released. Returns the unlinked nodes
+// for the caller to recycle (n after its lock is released; the child's
+// lock is released here).
+func (t *Tree) compressPath(c *locks.Ctx, pn *node, pb byte, n *node) (fn, fc *node) {
 	// Locate the single child and its branch byte.
 	var cb byte
 	var r ref
 	switch {
 	case n.numChildren != 1:
-		return
+		return nil, nil
 	default:
 		cb = n.keys[0]
 		r = n.children[0]
@@ -117,21 +125,21 @@ func (t *Tree) compressPath(c *locks.Ctx, pn *node, pb byte, n *node) {
 		// Leaves carry their full key: the parent can point at the
 		// leaf directly.
 		pn.replaceChild(pb, r)
-		n.obsolete = true
-		return
+		n.obsolete.Store(true)
+		return n, nil
 	}
 	child := r.n
 	ctok, ok := child.lock.AcquireSh(c)
 	if !ok {
-		return
+		return nil, nil
 	}
 	if !child.lock.Upgrade(c, &ctok) {
-		return
+		return nil, nil
 	}
-	defer child.lock.ReleaseEx(c, ctok)
 	// New prefix: n's prefix + the branch byte + child's prefix. The
 	// total path of 8-byte keys never exceeds the prefix capacity.
-	merged := t.newNode(child.kind)
+	merged := t.newNode(c, child.kind)
+	merged.level = n.level
 	merged.prefixLen = n.prefixLen + 1 + child.prefixLen
 	copy(merged.prefix[:], n.prefix[:n.prefixLen])
 	merged.prefix[n.prefixLen] = cb
@@ -140,6 +148,9 @@ func (t *Tree) compressPath(c *locks.Ctx, pn *node, pb byte, n *node) {
 	copy(merged.keys, child.keys)
 	copy(merged.children, child.children)
 	pn.replaceChild(pb, ref{n: merged})
-	n.obsolete = true
-	child.obsolete = true
+	merged.obsolete.Store(false)
+	n.obsolete.Store(true)
+	child.obsolete.Store(true)
+	child.lock.ReleaseEx(c, ctok)
+	return n, child
 }

@@ -52,8 +52,8 @@ first:
 			return false
 		}
 		if r.l != nil {
-			// Leaf keys are immutable, so a key mismatch is a miss
-			// without taking any lock (subject to validation).
+			// A key mismatch is a miss without taking any lock (subject
+			// to validation, which also proves the leaf was live).
 			if r.l.key != k {
 				if !n.lock.ReleaseSh(c, tok) {
 					goto retry
@@ -62,7 +62,7 @@ first:
 			}
 			// Found the owner node of the target slot.
 			if !t.scheme.Optimistic || (t.scheme.QueueWriters && pos == 7) {
-				found, done := t.updateDirect(c, n, tok, level, k, v)
+				found, done := t.updateDirect(c, n, tok, k, v)
 				if done {
 					return found
 				}
@@ -74,7 +74,7 @@ first:
 				return true
 			}
 			if t.scheme.QueueWriters {
-				t.noteContention(c, n, level, k)
+				t.noteContention(c, n, k)
 			}
 			goto retry
 		}
@@ -93,28 +93,42 @@ first:
 }
 
 // updateDirect blocks for the node's exclusive lock and revalidates
-// under it: the node must not be obsolete and must still hold the
-// target leaf. Returns (found, done); done=false asks the caller to
-// restart the traversal. The opportunistic read window (AOR) stays open
-// through the revalidation and closes just before the value write.
-func (t *Tree) updateDirect(c *locks.Ctx, n *node, tok locks.Token, level int, k, v uint64) (bool, bool) {
+// under it. With node recycling the blocking acquisition needs care:
+// the node can be freed and reused for a different position while we
+// wait, so traversal-time evidence ("n is on k's search path") only
+// holds if the node's life did not change. sameLife captures that: the
+// generation is read before validating the shared snapshot — a passing
+// validation pins the generation to the life the traversal saw — and
+// compared again under the exclusive lock. A definitive miss is
+// reported only when sameLife holds; a found leaf with key k is always
+// safe to write (a live node holding k's leaf owns the key's current
+// slot, whatever life it is). Returns (found, done); done=false asks
+// the caller to restart the traversal. The opportunistic read window
+// (AOR) stays open through the revalidation and closes just before the
+// value write.
+func (t *Tree) updateDirect(c *locks.Ctx, n *node, tok locks.Token, k, v uint64) (bool, bool) {
 	// Pessimistic schemes hold a real shared lock; drop it before
 	// blocking for the exclusive one. For optimistic schemes this is a
-	// validation whose outcome is irrelevant — Algorithm 4 locks first
-	// and validates afterwards.
-	n.lock.ReleaseSh(c, tok)
+	// validation — Algorithm 4 locks first and validates afterwards.
+	gen := n.gen.Load()
+	sameLife := n.lock.ReleaseSh(c, tok)
 	wtok := n.lock.AcquireEx(c)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.lock.ReleaseEx(c, wtok)
 		return false, false
 	}
-	// The prefix is immutable and the node is still reachable at the
-	// same position, so level remains valid.
-	if checkPrefix(n, k, level) < n.prefixLen {
+	sameLife = sameLife && n.gen.Load() == gen
+	// n.level (immutable per life) replaces the traversal level, which
+	// may belong to a previous life of the node.
+	if checkPrefix(n, k, n.level) < n.prefixLen {
 		n.lock.ReleaseEx(c, wtok)
-		return false, true
+		return false, sameLife
 	}
-	pos := level + n.prefixLen
+	pos := n.level + n.prefixLen
+	if pos >= 8 {
+		n.lock.ReleaseEx(c, wtok)
+		return false, false
+	}
 	r := n.findChild(keyByte(k, pos))
 	switch {
 	case r.l != nil && r.l.key == k:
@@ -128,14 +142,13 @@ func (t *Tree) updateDirect(c *locks.Ctx, n *node, tok locks.Token, level int, k
 		return false, false
 	default:
 		n.lock.ReleaseEx(c, wtok)
-		return false, true // definitive miss
+		return false, sameLife // miss, definitive only in the same life
 	}
 }
 
 // noteContention records a sampled upgrade failure on n and triggers
 // contention expansion once the threshold is crossed (Section 6.2).
-// level and k identify the hot slot.
-func (t *Tree) noteContention(c *locks.Ctx, n *node, level int, k uint64) {
+func (t *Tree) noteContention(c *locks.Ctx, n *node, k uint64) {
 	if !t.expand {
 		return
 	}
@@ -145,23 +158,26 @@ func (t *Tree) noteContention(c *locks.Ctx, n *node, level int, k uint64) {
 	if n.contention.Add(1) < t.threshold {
 		return
 	}
-	t.tryExpand(c, n, level, k)
+	t.tryExpand(c, n, k)
 }
 
 // tryExpand materializes the lazily-expanded path under n's slot for k
 // down to the last key-byte level, so that subsequent updaters can
 // block on a last-level node instead of upgrade-retrying. No-op if the
-// structure changed in the meantime.
-func (t *Tree) tryExpand(c *locks.Ctx, n *node, level int, k uint64) {
+// structure changed in the meantime. Like the direct paths it uses
+// n.level, not the traversal level: once the obsolete check passes, the
+// node is live, and expanding whatever leaf hangs at its slot is a
+// sound transformation even if the node was recycled since traversal.
+func (t *Tree) tryExpand(c *locks.Ctx, n *node, k uint64) {
 	wtok := n.lock.AcquireEx(c)
 	defer n.lock.ReleaseEx(c, wtok)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		return
 	}
-	if checkPrefix(n, k, level) < n.prefixLen {
+	if checkPrefix(n, k, n.level) < n.prefixLen {
 		return
 	}
-	pos := level + n.prefixLen
+	pos := n.level + n.prefixLen
 	if pos >= 7 {
 		return // already last level
 	}
@@ -174,13 +190,15 @@ func (t *Tree) tryExpand(c *locks.Ctx, n *node, level int, k uint64) {
 	n.lock.CloseWindow(wtok)
 	// Build a last-level node whose prefix absorbs the remaining bytes
 	// of the leaf's key, then swing the slot to it.
-	last := t.newNode(kind4)
+	last := t.newNode(c, kind4)
+	last.level = pos + 1
 	last.prefixLen = 6 - pos
 	for i := 0; i < last.prefixLen; i++ {
 		last.prefix[i] = keyByte(l.key, pos+1+i)
 	}
 	last.addChild(keyByte(l.key, 7), ref{l: l})
 	n.replaceChild(b, ref{n: last})
+	last.obsolete.Store(false)
 	n.contention.Store(0)
 	t.expansions.Add(1)
 	c.Counters().Inc(obs.EvARTExpand)
@@ -199,6 +217,9 @@ func (t *Tree) Insert(c *locks.Ctx, k, v uint64) bool {
 // remembering the parent's version token, then upgrade exactly the
 // nodes a given case needs (parent+node for growth and prefix splits,
 // node alone otherwise). Any upgrade failure restarts from the root.
+// Replaced nodes are marked obsolete under their lock and recycled
+// after the release (the release's version bump is what invalidates
+// every reader that could still hold a stale pointer).
 func (t *Tree) insertOptimistic(c *locks.Ctx, k, v uint64) bool {
 	goto first
 retry:
@@ -228,16 +249,20 @@ first:
 				pn.lock.ReleaseEx(c, ptok)
 				goto retry
 			}
-			np := t.newNode(kind4)
+			np := t.newNode(c, kind4)
+			np.level = n.level
 			np.prefixLen = off
 			copy(np.prefix[:], n.prefix[:off])
-			trimmed := t.cloneTrimmed(n, off)
+			trimmed := t.cloneTrimmed(c, n, off)
 			np.addChild(n.prefix[off], ref{n: trimmed})
-			np.addChild(keyByte(k, level+off), ref{l: &leaf{key: k, value: v}})
+			np.addChild(keyByte(k, level+off), ref{l: t.newLeaf(c, k, v)})
 			pn.replaceChild(pb, ref{n: np})
-			n.obsolete = true
+			np.obsolete.Store(false)
+			trimmed.obsolete.Store(false)
+			n.obsolete.Store(true)
 			n.lock.ReleaseEx(c, tok)
 			pn.lock.ReleaseEx(c, ptok)
+			t.freeNode(c, n)
 			t.size.Add(1)
 			return true
 		}
@@ -259,19 +284,21 @@ first:
 					pn.lock.ReleaseEx(c, ptok)
 					goto retry
 				}
-				big := t.grow(n)
-				big.addChild(b, ref{l: &leaf{key: k, value: v}})
+				big := t.grow(c, n)
+				big.addChild(b, ref{l: t.newLeaf(c, k, v)})
 				pn.replaceChild(pb, ref{n: big})
-				n.obsolete = true
+				big.obsolete.Store(false)
+				n.obsolete.Store(true)
 				n.lock.ReleaseEx(c, tok)
 				pn.lock.ReleaseEx(c, ptok)
+				t.freeNode(c, n)
 				t.size.Add(1)
 				return true
 			}
 			if !n.lock.Upgrade(c, &tok) {
 				goto retry
 			}
-			n.addChild(b, ref{l: &leaf{key: k, value: v}})
+			n.addChild(b, ref{l: t.newLeaf(c, k, v)})
 			n.lock.ReleaseEx(c, tok)
 			t.size.Add(1)
 			return true
@@ -291,8 +318,9 @@ first:
 			if !n.lock.Upgrade(c, &tok) {
 				goto retry
 			}
-			nn := t.lazySplit(r.l, k, v, pos)
+			nn := t.lazySplit(c, r.l, k, v, pos)
 			n.replaceChild(b, ref{n: nn})
+			nn.obsolete.Store(false)
 			n.lock.ReleaseEx(c, tok)
 			t.size.Add(1)
 			return true
@@ -334,16 +362,20 @@ func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) bool {
 	for {
 		off := checkPrefix(n, k, level)
 		if off < n.prefixLen {
-			np := t.newNode(kind4)
+			np := t.newNode(c, kind4)
+			np.level = n.level
 			np.prefixLen = off
 			copy(np.prefix[:], n.prefix[:off])
-			trimmed := t.cloneTrimmed(n, off)
+			trimmed := t.cloneTrimmed(c, n, off)
 			np.addChild(n.prefix[off], ref{n: trimmed})
-			np.addChild(keyByte(k, level+off), ref{l: &leaf{key: k, value: v}})
+			np.addChild(keyByte(k, level+off), ref{l: t.newLeaf(c, k, v)})
 			pn.replaceChild(pb, ref{n: np})
-			n.obsolete = true
+			np.obsolete.Store(false)
+			trimmed.obsolete.Store(false)
+			n.obsolete.Store(true)
 			n.lock.ReleaseEx(c, tok)
 			releaseParent()
+			t.freeNode(c, n)
 			t.size.Add(1)
 			return true
 		}
@@ -352,13 +384,18 @@ func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) bool {
 		r := n.findChild(b)
 		if r.empty() {
 			if n.full() {
-				big := t.grow(n)
-				big.addChild(b, ref{l: &leaf{key: k, value: v}})
+				big := t.grow(c, n)
+				big.addChild(b, ref{l: t.newLeaf(c, k, v)})
 				pn.replaceChild(pb, ref{n: big})
-				n.obsolete = true
-			} else {
-				n.addChild(b, ref{l: &leaf{key: k, value: v}})
+				big.obsolete.Store(false)
+				n.obsolete.Store(true)
+				n.lock.ReleaseEx(c, tok)
+				releaseParent()
+				t.freeNode(c, n)
+				t.size.Add(1)
+				return true
 			}
+			n.addChild(b, ref{l: t.newLeaf(c, k, v)})
 			n.lock.ReleaseEx(c, tok)
 			releaseParent()
 			t.size.Add(1)
@@ -370,8 +407,9 @@ func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) bool {
 				r.l.value = v
 				inserted = false
 			} else {
-				nn := t.lazySplit(r.l, k, v, pos)
+				nn := t.lazySplit(c, r.l, k, v, pos)
 				n.replaceChild(b, ref{n: nn})
+				nn.obsolete.Store(false)
 				t.size.Add(1)
 			}
 			n.lock.ReleaseEx(c, tok)
@@ -389,9 +427,11 @@ func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) bool {
 
 // cloneTrimmed copies n with its prefix cut after position off (the
 // diverging byte n.prefix[off] becomes the branch byte in the new
-// parent). Caller holds n exclusively.
-func (t *Tree) cloneTrimmed(n *node, off int) *node {
-	cp := t.newNode(n.kind)
+// parent). Caller holds n exclusively; the copy sits one branch byte
+// plus off levels deeper than n.
+func (t *Tree) cloneTrimmed(c *locks.Ctx, n *node, off int) *node {
+	cp := t.newNode(c, n.kind)
+	cp.level = n.level + off + 1
 	cp.prefixLen = n.prefixLen - off - 1
 	copy(cp.prefix[:], n.prefix[off+1:n.prefixLen])
 	cp.numChildren = n.numChildren
@@ -403,18 +443,19 @@ func (t *Tree) cloneTrimmed(n *node, off int) *node {
 // lazySplit builds the Node4 that separates existing leaf l from new
 // key k; both agree on all bytes through pos and diverge at some later
 // byte d <= 7.
-func (t *Tree) lazySplit(l *leaf, k, v uint64, pos int) *node {
+func (t *Tree) lazySplit(c *locks.Ctx, l *leaf, k, v uint64, pos int) *node {
 	d := pos + 1
 	for keyByte(l.key, d) == keyByte(k, d) {
 		d++
 	}
-	nn := t.newNode(kind4)
+	nn := t.newNode(c, kind4)
+	nn.level = pos + 1
 	nn.prefixLen = d - pos - 1
 	for i := 0; i < nn.prefixLen; i++ {
 		nn.prefix[i] = keyByte(k, pos+1+i)
 	}
 	nn.addChild(keyByte(l.key, d), ref{l: l})
-	nn.addChild(keyByte(k, d), ref{l: &leaf{key: k, value: v}})
+	nn.addChild(keyByte(k, d), ref{l: t.newLeaf(c, k, v)})
 	return nn
 }
 
@@ -472,16 +513,28 @@ first:
 				if !n.lock.Upgrade(c, &tok) {
 					goto retry
 				}
+				l := r.l
 				n.removeChild(b)
 				t.size.Add(-1)
+				var fn, fc *node
 				if pn != nil && shrinkWorthy(n.kind, n.numChildren) && pn.lock.Upgrade(c, &ptok) {
-					t.shrinkLocked(c, pn, pb, n)
+					fn, fc = t.shrinkLocked(c, pn, pb, n)
 					pn.lock.ReleaseEx(c, ptok)
 				}
 				n.lock.ReleaseEx(c, tok)
+				// All locks are dropped: recycle the removed leaf and
+				// whatever the shrink unlinked (fn's lock was released
+				// just above; fc's inside shrinkLocked).
+				t.freeLeaf(c, l)
+				if fn != nil {
+					t.freeNode(c, fn)
+				}
+				if fc != nil {
+					t.freeNode(c, fc)
+				}
 				return true
 			}
-			removed, done := t.deleteDirect(c, n, tok, level, k)
+			removed, done := t.deleteDirect(c, n, tok, k)
 			if done {
 				return removed
 			}
@@ -502,25 +555,34 @@ first:
 	}
 }
 
-// deleteDirect is updateDirect's counterpart for pessimistic removal.
-func (t *Tree) deleteDirect(c *locks.Ctx, n *node, tok locks.Token, level int, k uint64) (bool, bool) {
-	n.lock.ReleaseSh(c, tok)
+// deleteDirect is updateDirect's counterpart for pessimistic removal;
+// the same life-tracking discipline applies (see updateDirect).
+func (t *Tree) deleteDirect(c *locks.Ctx, n *node, tok locks.Token, k uint64) (bool, bool) {
+	gen := n.gen.Load()
+	sameLife := n.lock.ReleaseSh(c, tok)
 	wtok := n.lock.AcquireEx(c)
-	if n.obsolete {
+	if n.obsolete.Load() {
 		n.lock.ReleaseEx(c, wtok)
 		return false, false
 	}
-	if checkPrefix(n, k, level) < n.prefixLen {
+	sameLife = sameLife && n.gen.Load() == gen
+	if checkPrefix(n, k, n.level) < n.prefixLen {
 		n.lock.ReleaseEx(c, wtok)
-		return false, true
+		return false, sameLife
 	}
-	pos := level + n.prefixLen
+	pos := n.level + n.prefixLen
+	if pos >= 8 {
+		n.lock.ReleaseEx(c, wtok)
+		return false, false
+	}
 	b := keyByte(k, pos)
 	r := n.findChild(b)
 	switch {
 	case r.l != nil && r.l.key == k:
+		l := r.l
 		n.removeChild(b)
 		n.lock.ReleaseEx(c, wtok)
+		t.freeLeaf(c, l)
 		t.size.Add(-1)
 		return true, true
 	case r.n != nil:
@@ -528,6 +590,6 @@ func (t *Tree) deleteDirect(c *locks.Ctx, n *node, tok locks.Token, level int, k
 		return false, false
 	default:
 		n.lock.ReleaseEx(c, wtok)
-		return false, true
+		return false, sameLife
 	}
 }

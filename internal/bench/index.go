@@ -10,6 +10,7 @@ import (
 	"optiql/internal/btree"
 	"optiql/internal/core"
 	"optiql/internal/hist"
+	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
 	"optiql/internal/workload"
@@ -21,9 +22,10 @@ type Index interface {
 	Insert(c *locks.Ctx, k, v uint64) bool
 	Update(c *locks.Ctx, k, v uint64) bool
 	Delete(c *locks.Ctx, k uint64) bool
-	// Scan reads up to n pairs starting at k, returning how many it
-	// saw; indexes without range support return -1.
-	Scan(c *locks.Ctx, k uint64, n int) int
+	// Scan reads up to n pairs starting at k into buf (reused across
+	// calls so the measured loop does not allocate), returning how many
+	// it saw; indexes without range support return -1.
+	Scan(c *locks.Ctx, k uint64, n int, buf []kv.KV) int
 }
 
 type btreeIndex struct{ t *btree.Tree }
@@ -32,8 +34,8 @@ func (b btreeIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) { return b.t.L
 func (b btreeIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return b.t.Insert(c, k, v) }
 func (b btreeIndex) Update(c *locks.Ctx, k, v uint64) bool        { return b.t.Update(c, k, v) }
 func (b btreeIndex) Delete(c *locks.Ctx, k uint64) bool           { return b.t.Delete(c, k) }
-func (b btreeIndex) Scan(c *locks.Ctx, k uint64, n int) int {
-	return len(b.t.Scan(c, k, n, nil))
+func (b btreeIndex) Scan(c *locks.Ctx, k uint64, n int, buf []kv.KV) int {
+	return len(b.t.Scan(c, k, n, buf[:0]))
 }
 
 type artIndex struct{ t *art.Tree }
@@ -42,8 +44,8 @@ func (a artIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) { return a.t.Loo
 func (a artIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return a.t.Insert(c, k, v) }
 func (a artIndex) Update(c *locks.Ctx, k, v uint64) bool        { return a.t.Update(c, k, v) }
 func (a artIndex) Delete(c *locks.Ctx, k uint64) bool           { return a.t.Delete(c, k) }
-func (a artIndex) Scan(c *locks.Ctx, k uint64, n int) int {
-	return len(a.t.Scan(c, k, n, nil))
+func (a artIndex) Scan(c *locks.Ctx, k uint64, n int, buf []kv.KV) int {
+	return len(a.t.Scan(c, k, n, buf[:0]))
 }
 
 // IndexConfig parameterizes one index benchmark run.
@@ -290,6 +292,7 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 			c.SetCounters(reg.NewCounters())
 			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
 			insertSeq := uint64(cfg.Records) + uint64(w)<<40
+			scanBuf := make([]kv.KV, 0, cfg.ScanLen)
 			res := &results[w]
 			cell := smp.cell(w)
 			started.Done()
@@ -314,7 +317,7 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 				case workload.OpDelete:
 					hit = idx.Delete(c, k)
 				case workload.OpScan:
-					hit = idx.Scan(c, k, cfg.ScanLen) > 0
+					hit = idx.Scan(c, k, cfg.ScanLen, scanBuf) > 0
 				}
 				if sample {
 					res.h.Record(uint64(time.Since(t0)))

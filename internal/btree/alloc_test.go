@@ -1,0 +1,72 @@
+package btree
+
+import (
+	"testing"
+
+	"optiql/internal/core"
+	"optiql/internal/indextest"
+	"optiql/internal/locks"
+)
+
+// TestLookupAllocs pins the point-read alloc budget at zero: the flat
+// node layout keeps the descent free of slice headers and the lock
+// schemes keep their queue nodes in the Ctx, so a Lookup must not
+// touch the heap at all.
+func TestLookupAllocs(t *testing.T) {
+	for _, scheme := range []string{"OptiQL", "OptLock", "MCS-RW"} {
+		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
+			tr, err := New(Config{Scheme: locks.MustByName(scheme)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := core.NewPool(16)
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			for k := uint64(0); k < 10000; k++ {
+				tr.Insert(c, k, k*3)
+			}
+			k := uint64(0)
+			allocs := testing.AllocsPerRun(1000, func() {
+				v, ok := tr.Lookup(c, k)
+				if !ok || v != k*3 {
+					t.Fatalf("Lookup(%d) = (%d, %v)", k, v, ok)
+				}
+				k = (k + 7919) % 10000
+			})
+			if allocs != 0 {
+				t.Errorf("Lookup allocates %.1f objects per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestScanAllocs pins the scan alloc budget: with a caller-provided
+// output buffer the sibling-chain walk stages batches on the stack and
+// appends in place, so steady-state scans must not allocate.
+func TestScanAllocs(t *testing.T) {
+	scheme := locks.MustByName("OptiQL")
+	indextest.SkipIfOptimisticRace(t, scheme)
+	tr, err := New(Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPool(16)
+	c := locks.NewCtx(pool, 8)
+	defer c.Close()
+	for k := uint64(0); k < 10000; k++ {
+		tr.Insert(c, k, k)
+	}
+	buf := make([]KV, 0, 64)
+	k := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		out := tr.Scan(c, k, 16, buf[:0])
+		if len(out) != 16 {
+			t.Fatalf("Scan(%d) returned %d pairs", k, len(out))
+		}
+		k = (k + 7919) % 9000
+	})
+	if allocs != 0 {
+		t.Errorf("Scan allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -51,13 +51,25 @@ type Config struct {
 // worker's *locks.Ctx, which supplies the queue nodes exclusive
 // acquisitions need.
 type Tree struct {
-	root    atomic.Pointer[node]
-	scheme  *locks.Scheme
-	fanout  int // max keys per node (leaf and inner)
-	size    atomic.Int64
-	aorLeaf bool
+	root   atomic.Pointer[node]
+	scheme *locks.Scheme
+	fanout int // max keys per node (leaf and inner)
+	class  int // size class serving fanout (node.go); classHeap when none
+	size   atomic.Int64
+	// leafFree/innerFree recycle nodes emptied by merges and root
+	// collapses (type-stable reuse; node.go). Separate lists per role
+	// keep the leaf flag immutable for a node's whole lifetime.
+	leafFree  *locks.Recycler
+	innerFree *locks.Recycler
+	aorLeaf   bool
 }
 
+// node is the common header of every node. The slices alias inline
+// arrays of the node's size-class struct (node.go) — header and slots
+// are one allocation — and are written exactly once, at construction:
+// a recycled node keeps its slice headers, its lock and its leaf flag
+// for life, so racy optimistic readers always observe a stable layout
+// (only contents can be torn, and torn reads fail version validation).
 type node struct {
 	lock locks.Lock
 	leaf bool
@@ -87,8 +99,15 @@ func New(cfg Config) (*Tree, error) {
 	if fanout < 4 {
 		fanout = 4
 	}
-	t := &Tree{scheme: cfg.Scheme, fanout: fanout, aorLeaf: cfg.Scheme.AOR()}
-	t.root.Store(t.newLeaf())
+	t := &Tree{
+		scheme:    cfg.Scheme,
+		fanout:    fanout,
+		class:     classFor(fanout),
+		leafFree:  locks.NewRecycler(),
+		innerFree: locks.NewRecycler(),
+		aorLeaf:   cfg.Scheme.AOR(),
+	}
+	t.root.Store(t.newLeaf(nil))
 	return t, nil
 }
 
@@ -116,23 +135,6 @@ func (t *Tree) Height() int {
 		h++
 	}
 	return h
-}
-
-func (t *Tree) newLeaf() *node {
-	return &node{
-		lock:   t.scheme.NewLeaf(),
-		leaf:   true,
-		keys:   make([]uint64, t.fanout),
-		values: make([]uint64, t.fanout),
-	}
-}
-
-func (t *Tree) newInner() *node {
-	return &node{
-		lock:     t.scheme.NewInner(),
-		keys:     make([]uint64, t.fanout),
-		children: make([]*node, t.fanout+1),
-	}
 }
 
 // clampedCount returns count clamped to the slot capacity, defending

@@ -60,9 +60,18 @@ first:
 		stack = append(stack, held{child, ctok})
 		n = child
 	}
-	removed := t.deleteAndRebalance(c, stack, childIdx, k)
+	removed, freeRoot := t.deleteAndRebalance(c, stack, childIdx, k)
 	for _, h := range stack {
-		h.n.lock.ReleaseEx(c, h.tok)
+		// A left-merge clears its stack entry after releasing and
+		// recycling the merged-away node (rebalance).
+		if h.n != nil {
+			h.n.lock.ReleaseEx(c, h.tok)
+		}
+	}
+	if freeRoot != nil {
+		// The collapsed root's lock (stack[0]) is released above; only
+		// now is it safe to recycle the node.
+		t.freeNode(c, freeRoot)
 	}
 	return removed
 }
@@ -70,11 +79,13 @@ first:
 // deleteAndRebalance removes k from the leaf at the top of the locked
 // stack and restores fill invariants up the locked chain.
 // childIdx[i] is the slot of stack[i+1].n within stack[i].n.
-func (t *Tree) deleteAndRebalance(c *locks.Ctx, stack []held, childIdx []int, k uint64) bool {
+// freeRoot, when non-nil, is a collapsed root the caller must recycle
+// after releasing the stack (its lock is stack[0]'s).
+func (t *Tree) deleteAndRebalance(c *locks.Ctx, stack []held, childIdx []int, k uint64) (removed bool, freeRoot *node) {
 	leaf := stack[len(stack)-1].n
 	i, found := leaf.leafFind(k)
 	if !found {
-		return false
+		return false, nil
 	}
 	copy(leaf.keys[i:leaf.count-1], leaf.keys[i+1:leaf.count])
 	copy(leaf.values[i:leaf.count-1], leaf.values[i+1:leaf.count])
@@ -96,8 +107,9 @@ func (t *Tree) deleteAndRebalance(c *locks.Ctx, stack []held, childIdx []int, k 
 	root := stack[0].n
 	if root == t.root.Load() && !root.leaf && root.count == 0 {
 		t.root.Store(root.children[0])
+		freeRoot = root
 	}
-	return true
+	return true, freeRoot
 }
 
 // rebalance fixes the underfull child at parent.children[slot] by
@@ -120,13 +132,18 @@ func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged 
 		sib := parent.children[slot+1]
 		stok := sib.lock.AcquireEx(c)
 		sib.lock.CloseWindow(stok)
-		defer sib.lock.ReleaseEx(c, stok)
 		if sib.count > t.minKeys() {
 			t.borrowFromRight(parent, slot, n, sib)
+			sib.lock.ReleaseEx(c, stok)
 			return false
 		}
 		t.mergeRightInto(parent, slot, n, sib)
 		c.Counters().Inc(obs.EvBTreeMerge)
+		// sib is empty and unlinked; release (bumping the version all
+		// in-flight optimistic readers of sib validate against) and
+		// recycle it.
+		sib.lock.ReleaseEx(c, stok)
+		t.freeNode(c, sib)
 		return true
 	}
 	if slot > 0 {
@@ -137,20 +154,27 @@ func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged 
 		sib.lock.CloseWindow(stok)
 		h.tok = n.lock.AcquireEx(c)
 		n.lock.CloseWindow(h.tok)
-		defer sib.lock.ReleaseEx(c, stok)
 		if n.count >= t.minKeys() {
 			// A fast-path insert refilled the node while it was
 			// unlocked: nothing to rebalance anymore.
+			sib.lock.ReleaseEx(c, stok)
 			return false
 		}
 		if sib.count > t.minKeys() {
 			t.borrowFromLeft(parent, slot, n, sib)
+			sib.lock.ReleaseEx(c, stok)
 			return false
 		}
 		// Merge n into its left sibling: same as merging "right into
-		// left" with roles shifted one slot.
+		// left" with roles shifted one slot. n is then dead: release it
+		// here, recycle it, and clear the stack entry so the caller's
+		// release loop skips it.
 		t.mergeRightInto(parent, slot-1, sib, n)
 		c.Counters().Inc(obs.EvBTreeMerge)
+		sib.lock.ReleaseEx(c, stok)
+		n.lock.ReleaseEx(c, h.tok)
+		h.n = nil
+		t.freeNode(c, n)
 		return true
 	}
 	// Root child with no siblings: nothing to do.
@@ -205,10 +229,11 @@ func (t *Tree) borrowFromLeft(parent *node, slot int, n, sib *node) {
 // mergeRightInto folds right (parent.children[slot+1]) into left
 // (parent.children[slot]) and removes the separator at slot. Both
 // children and the parent are exclusively held. The emptied right node
-// stays consistent for concurrent optimistic readers: its count drops
-// to zero and its sibling pointer keeps pointing onward, so in-flight
-// scans pass through it harmlessly (their validation of the right
-// node's lock fails anyway once it is released).
+// stays consistent for concurrent optimistic readers until the caller
+// releases and recycles it: its count drops to zero and its sibling
+// pointer keeps pointing onward, and any in-flight reader that reaches
+// it fails validation against the version bump of that release before
+// trusting anything it read.
 func (t *Tree) mergeRightInto(parent *node, slot int, left, right *node) {
 	if left.leaf {
 		copy(left.keys[left.count:left.count+right.count], right.keys[:right.count])

@@ -1,0 +1,202 @@
+package btree
+
+import "optiql/internal/locks"
+
+// Flat node layout. The C++ implementation the paper evaluates stores
+// a node as one contiguous block — header followed by inline key and
+// value/child arrays — so a traversal touches one allocation per level
+// and the header shares cache lines with the first keys. The Go
+// equivalent here: a small set of size-class structs that embed the
+// node header and fixed-capacity arrays, with the header's slice
+// fields aliasing the inline storage. All structural code keeps
+// operating on the slices (len == fanout, as before); the slice
+// headers are written once at construction and never again, so racy
+// optimistic readers always see a stable view of where the arrays
+// live.
+//
+// classCaps mirrors the paper's node-size study (Figure 11): 256-byte
+// nodes (fanout 14, the evaluation default) up to 4 KiB (fanout 254).
+// Configured fanouts above the largest class fall back to heap slices
+// — correct, just not single-allocation.
+var classCaps = [...]int{14, 30, 62, 126, 254}
+
+// maxClassCap is the largest inline fanout; scan paths size their
+// stack scratch off it.
+const maxClassCap = 254
+
+// classHeap marks a fanout too large for any inline class.
+const classHeap = -1
+
+func classFor(fanout int) int {
+	for i, c := range classCaps {
+		if fanout <= c {
+			return i
+		}
+	}
+	return classHeap
+}
+
+// One struct per (class, role). The 256-byte class (leaf14/inner14) is
+// the hot one; the node header plus the first keys fit in two cache
+// lines.
+type (
+	leaf14 struct {
+		n    node
+		k, v [14]uint64
+	}
+	leaf30 struct {
+		n    node
+		k, v [30]uint64
+	}
+	leaf62 struct {
+		n    node
+		k, v [62]uint64
+	}
+	leaf126 struct {
+		n    node
+		k, v [126]uint64
+	}
+	leaf254 struct {
+		n    node
+		k, v [254]uint64
+	}
+	inner14 struct {
+		n node
+		k [14]uint64
+		c [15]*node
+	}
+	inner30 struct {
+		n node
+		k [30]uint64
+		c [31]*node
+	}
+	inner62 struct {
+		n node
+		k [62]uint64
+		c [63]*node
+	}
+	inner126 struct {
+		n node
+		k [126]uint64
+		c [127]*node
+	}
+	inner254 struct {
+		n node
+		k [254]uint64
+		c [255]*node
+	}
+)
+
+// makeLeaf builds one leaf node as a single allocation of the given
+// class, its slices aliasing the inline arrays trimmed to fanout.
+func makeLeaf(class, fanout int) *node {
+	switch class {
+	case 0:
+		x := new(leaf14)
+		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		return &x.n
+	case 1:
+		x := new(leaf30)
+		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		return &x.n
+	case 2:
+		x := new(leaf62)
+		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		return &x.n
+	case 3:
+		x := new(leaf126)
+		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		return &x.n
+	case 4:
+		x := new(leaf254)
+		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		return &x.n
+	default:
+		return &node{keys: make([]uint64, fanout), values: make([]uint64, fanout)}
+	}
+}
+
+// makeInner is makeLeaf for inner nodes (fanout keys, fanout+1 child
+// pointers).
+func makeInner(class, fanout int) *node {
+	switch class {
+	case 0:
+		x := new(inner14)
+		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		return &x.n
+	case 1:
+		x := new(inner30)
+		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		return &x.n
+	case 2:
+		x := new(inner62)
+		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		return &x.n
+	case 3:
+		x := new(inner126)
+		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		return &x.n
+	case 4:
+		x := new(inner254)
+		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		return &x.n
+	default:
+		return &node{keys: make([]uint64, fanout), children: make([]*node, fanout+1)}
+	}
+}
+
+// newLeaf returns an empty leaf, reusing a recycled one when
+// available. A recycled node keeps its lock — and therefore its
+// monotone version history — so any optimistic reader that raced onto
+// it through a stale pointer fails validation instead of trusting the
+// reinitialized contents (see locks/recycle.go for the full argument).
+func (t *Tree) newLeaf(c *locks.Ctx) *node {
+	if x := t.leafFree.Get(c); x != nil {
+		n := x.(*node)
+		locks.BumpOnReuse(n.lock)
+		n.count = 0
+		n.next = nil
+		return n
+	}
+	n := makeLeaf(t.class, t.fanout)
+	n.lock = t.scheme.NewLeaf()
+	n.leaf = true
+	return n
+}
+
+// newInner returns an empty inner node, reusing a recycled one when
+// available. Leaves and inner nodes recycle through separate lists:
+// a node's role (and hence which inline arrays exist) is fixed for its
+// entire lifetime, which is what lets traversal code trust a racily
+// read n.leaf flag.
+func (t *Tree) newInner(c *locks.Ctx) *node {
+	if x := t.innerFree.Get(c); x != nil {
+		n := x.(*node)
+		locks.BumpOnReuse(n.lock)
+		n.count = 0
+		return n
+	}
+	n := makeInner(t.class, t.fanout)
+	n.lock = t.scheme.NewInner()
+	return n
+}
+
+// freeNode recycles a node emptied by a merge or root collapse. The
+// caller guarantees the node is unreachable from the structure and its
+// exclusive lock has been released (the release bumped the version, so
+// every in-flight optimistic reader that could still reach it fails
+// validation). Child pointers are cleared so the free list never pins
+// live subtrees; in-flight readers that race onto the cleared slots
+// see nil, take the retry path, and restart.
+func (t *Tree) freeNode(c *locks.Ctx, n *node) {
+	n.count = 0
+	if n.leaf {
+		n.next = nil
+		t.leafFree.Put(c, n)
+		return
+	}
+	for i := range n.children {
+		n.children[i] = nil
+	}
+	t.innerFree.Put(c, n)
+}

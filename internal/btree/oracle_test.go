@@ -20,12 +20,7 @@ func oracleOptions(nodeSize int) indextest.Options {
 			return tr, nil
 		},
 		Scan: func(idx indextest.Index, c *locks.Ctx, start uint64, max int) []indextest.KV {
-			out := idx.(*Tree).Scan(c, start, max, nil)
-			kvs := make([]indextest.KV, len(out))
-			for i, kv := range out {
-				kvs[i] = indextest.KV{Key: kv.Key, Value: kv.Value}
-			}
-			return kvs
+			return idx.(*Tree).Scan(c, start, max, nil)
 		},
 		Invariants: func(t *testing.T, idx indextest.Index) { checkInvariants(t, idx.(*Tree)) },
 	}
@@ -43,6 +38,20 @@ func TestConcurrentOracle(t *testing.T) {
 func TestConcurrentOracleSmallNodes(t *testing.T) {
 	o := oracleOptions(96)
 	o.Schemes = []string{"OptiQL", "OptLock", "MCS-RW"}
+	o.Keyspace = 1024
+	indextest.Run(t, o)
+}
+
+// TestConcurrentOracleChurn is the recycle-stress workload:
+// insert/delete floods force continuous split/merge/free cycles, so
+// freed nodes are constantly republished from the per-Ctx free lists
+// while concurrent readers validate against their bumped versions.
+// Small nodes keep the structural-modification rate high. Under -race
+// the harness runs the pessimistic schemes, checking the recycler's
+// happens-before edges.
+func TestConcurrentOracleChurn(t *testing.T) {
+	o := oracleOptions(96)
+	o.Churn = true
 	o.Keyspace = 1024
 	indextest.Run(t, o)
 }

@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
 )
@@ -56,28 +57,34 @@ first:
 	return v, found
 }
 
-// KV is a key/value pair returned by Scan.
-type KV struct {
-	Key   uint64
-	Value uint64
-}
+// KV is a key/value pair returned by Scan. It aliases the repo-wide
+// pair type so server scan buffers pass through without conversion.
+type KV = kv.KV
 
-// Scan collects up to max pairs with keys >= start in ascending order,
-// appending to out and returning the extended slice. It descends to the
-// first relevant leaf and then walks the sibling chain with coupled
-// per-leaf validation: a failed validation discards the current leaf's
-// batch and restarts the scan from the first uncollected key.
+// Scan appends up to max pairs with keys >= start in ascending order
+// to out and returns the extended slice; any pairs already in out are
+// left alone and do not count against max. It descends to the first
+// relevant leaf and then walks the sibling chain with coupled per-leaf
+// validation: a failed validation discards the current leaf's batch
+// and restarts the scan from the first uncollected key.
 func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	if max <= 0 {
 		return out
 	}
+	limit := len(out) + max
 	resume := start
-	tmp := make([]KV, 0, 16)
+	// Per-leaf staging buffer: stack storage for the common fanouts,
+	// one heap slice only for fanouts beyond the largest size class.
+	var tmpa [64]KV
+	tmp := tmpa[:0]
+	if t.fanout > len(tmpa) {
+		tmp = make([]KV, 0, t.fanout)
+	}
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
 first:
-	if len(out) >= max {
+	if len(out) >= limit {
 		return out
 	}
 	// Descend to the leaf covering resume.
@@ -110,12 +117,12 @@ first:
 	for {
 		tmp = tmp[:0]
 		cnt := n.clampedCount()
-		for i := n.lowerBound(resume); i < cnt && len(out)+len(tmp) < max; i++ {
-			tmp = append(tmp, KV{n.keys[i], n.values[i]})
+		for i := n.lowerBound(resume); i < cnt && len(out)+len(tmp) < limit; i++ {
+			tmp = append(tmp, KV{Key: n.keys[i], Value: n.values[i]})
 		}
 		nxt := n.next
 		var ntok locks.Token
-		if nxt != nil && len(out)+len(tmp) < max {
+		if nxt != nil && len(out)+len(tmp) < limit {
 			var nok bool
 			ntok, nok = nxt.lock.AcquireSh(c)
 			if !nok {

@@ -241,7 +241,7 @@ func (t *Tree) insertAndSplit(c *locks.Ctx, stack []held, k, v uint64) {
 	// Split the leaf. The new key goes into its half before the right
 	// sibling is published anywhere (sibling pointer or parent slot),
 	// so no traversal can observe the sibling mid-modification.
-	sep, right := t.splitLeaf(leaf)
+	sep, right := t.splitLeaf(c, leaf)
 	c.Counters().Inc(obs.EvBTreeSplit)
 	if k >= sep {
 		t.insertIntoLeaf(right, k, v)
@@ -262,7 +262,7 @@ func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, r
 		// stack[0] is the root and it just split (or it is a leaf that
 		// split): grow a new root.
 		old := stack[0].n
-		newRoot := t.newInner()
+		newRoot := t.newInner(c)
 		newRoot.keys[0] = sep
 		newRoot.children[0] = old
 		newRoot.children[1] = right
@@ -275,7 +275,7 @@ func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, r
 		t.insertIntoInner(parent, sep, right)
 		return
 	}
-	psep, pright := t.splitInner(parent)
+	psep, pright := t.splitInner(c, parent)
 	c.Counters().Inc(obs.EvBTreeSplit)
 	if sep >= psep {
 		t.insertIntoInner(pright, sep, right)
@@ -289,8 +289,8 @@ func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, r
 // returns the separator (first key of the right node) and the sibling.
 // The caller holds the leaf exclusively and is responsible for linking
 // the sibling chain after any pending insert into the new node.
-func (t *Tree) splitLeaf(n *node) (uint64, *node) {
-	right := t.newLeaf()
+func (t *Tree) splitLeaf(c *locks.Ctx, n *node) (uint64, *node) {
+	right := t.newLeaf(c)
 	mid := n.count / 2
 	copy(right.keys, n.keys[mid:n.count])
 	copy(right.values, n.values[mid:n.count])
@@ -301,8 +301,8 @@ func (t *Tree) splitLeaf(n *node) (uint64, *node) {
 
 // splitInner moves the upper half of an inner node into a fresh right
 // sibling, returning the separator pushed up and the sibling.
-func (t *Tree) splitInner(n *node) (uint64, *node) {
-	right := t.newInner()
+func (t *Tree) splitInner(c *locks.Ctx, n *node) (uint64, *node) {
+	right := t.newInner(c)
 	mid := n.count / 2
 	sep := n.keys[mid]
 	copy(right.keys, n.keys[mid+1:n.count])

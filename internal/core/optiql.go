@@ -173,6 +173,26 @@ func (l *OptiQL) releaseEx(qnode *QNode, opportunistic bool) {
 	qnode.next.Load().version.Store((version + 1) & VersionMask)
 }
 
+// BumpVersion advances the version field of an unlocked word, failing
+// validation for any reader still holding an older snapshot. Callers
+// use it when the memory the lock protects is recycled (type-stable
+// node reuse). While the lock is held the CAS is skipped: the holder's
+// own release publishes an incremented version anyway, and the word
+// must not be disturbed mid-protocol. Racing acquirers are unaffected —
+// their Swap wins over this CAS, and a racing Upgrade simply fails its
+// snapshot comparison and restarts, which is the desired outcome.
+func (l *OptiQL) BumpVersion() {
+	for {
+		v := l.word.Load()
+		if v&LockedBit != 0 {
+			return
+		}
+		if l.word.CompareAndSwap(v, (v+1)&VersionMask) {
+			return
+		}
+	}
+}
+
 // Upgrade attempts to convert an optimistic read with snapshot v into
 // exclusive ownership, the try-lock style interface added for ART
 // (Section 6.2). It CASes the word from the unlocked snapshot to the

@@ -18,15 +18,14 @@ import (
 	"testing"
 
 	"optiql/internal/core"
+	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/workload"
 )
 
-// KV is a key/value pair returned by a Scan adapter.
-type KV struct {
-	Key   uint64
-	Value uint64
-}
+// KV is a key/value pair returned by a Scan adapter. It aliases the
+// repo-wide pair type, so substrate scans can be forwarded directly.
+type KV = kv.KV
 
 // Index is the substrate surface the oracle workload drives. Both
 // *btree.Tree and *art.Tree satisfy it directly.
@@ -57,6 +56,13 @@ type Options struct {
 	Ops int
 	// Keyspace is the size of the shared key range (default 2048).
 	Keyspace uint64
+	// Churn switches the workload from the mixed op stream to a
+	// recycle-stress pattern: each worker floods its stripe with dense
+	// ascending inserts (forcing splits and node growth) and then
+	// deletes most of it back (forcing merges, shrinks and node frees),
+	// so the next round's inserts reuse recycled nodes while the other
+	// workers' readers are mid-traversal on the same structure.
+	Churn bool
 	// Invariants, when set, runs the substrate's white-box structural
 	// checks on the quiescent index after the workload and verification.
 	Invariants func(t *testing.T, idx Index)
@@ -111,6 +117,10 @@ func runOne(t *testing.T, o Options, idx Index) {
 			c := locks.NewCtx(pool, 8)
 			defer c.Close()
 			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 7)
+			if o.Churn {
+				churnWorker(t, o, idx, oracle, c, rng, g, uint64(w))
+				return
+			}
 			stripe := o.Keyspace / g
 			for i := 0; i < o.Ops; i++ {
 				// Keys owned by this worker: k ≡ w (mod goroutines).
@@ -206,6 +216,69 @@ func runOne(t *testing.T, o Options, idx Index) {
 	}
 	if o.Invariants != nil {
 		o.Invariants(t, idx)
+	}
+}
+
+// churnWorker is the recycle-stress workload body for one worker: an
+// insert flood over its whole stripe (dense ascending keys drive
+// splits and node growth), a burst of spot-check lookups and scans
+// while the other workers keep the structure hot, then a delete flood
+// emptying most of the stripe (merges, shrinks and node frees). The
+// next round's insert flood reuses the freed nodes, so version-bumped
+// recycled nodes are repeatedly republished under concurrent readers.
+func churnWorker(t *testing.T, o Options, idx Index, oracle map[uint64]uint64, c *locks.Ctx, rng *workload.RNG, g, w uint64) {
+	stripe := o.Keyspace / g
+	budget := o.Ops
+	for budget > 0 {
+		// Insert flood.
+		for i := uint64(0); i < stripe && budget > 0; i++ {
+			k := i*g + w
+			v := rng.Uint64()
+			_, had := oracle[k]
+			if got := idx.Insert(c, k, v); got != !had {
+				t.Errorf("churn Insert(%d) new=%v, oracle says %v", k, got, !had)
+				return
+			}
+			oracle[k] = v
+			budget--
+		}
+		// Spot-check reads against freshly split/grown (or recycled)
+		// nodes while other workers churn the same structure.
+		for i := 0; i < 64 && budget > 0; i++ {
+			k := rng.Uint64n(stripe)*g + w
+			want, had := oracle[k]
+			got, ok := idx.Lookup(c, k)
+			if ok != had || (had && got != want) {
+				t.Errorf("churn Lookup(%d) = (%d, %v), oracle says (%d, %v)", k, got, ok, want, had)
+				return
+			}
+			budget--
+		}
+		if o.Scan != nil && budget > 0 {
+			start := rng.Uint64n(stripe)*g + w
+			max := int(rng.Uint64n(32)) + 1
+			if !checkScan(t, oracle, g, w, start, max, o.Scan(idx, c, start, max)) {
+				return
+			}
+			budget--
+		}
+		// Delete flood: keep only one key in eight so merges and shrinks
+		// actually fire, and vary which one so successive rounds reshape
+		// the structure differently.
+		keep := rng.Uint64n(8)
+		for i := uint64(0); i < stripe && budget > 0; i++ {
+			if i%8 == keep {
+				continue
+			}
+			k := i*g + w
+			_, had := oracle[k]
+			if got := idx.Delete(c, k); got != had {
+				t.Errorf("churn Delete(%d) found=%v, oracle says %v", k, got, had)
+				return
+			}
+			delete(oracle, k)
+			budget--
+		}
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package kv defines the key/value pair type shared by the index
+// substrates, the oracle harness and the wire protocol. Having one
+// concrete type (the packages alias it: btree.KV = art.KV = wire.KV =
+// kv.KV) lets the server pass one pooled output buffer straight into
+// an index scan and encode the result without converting — the scan
+// path copies each pair exactly once, from the leaf into the buffer.
+package kv
+
+// KV is one key/value pair. Keys and values are uint64, matching the
+// paper's 8-byte keys and 8-byte payload TIDs.
+type KV struct {
+	Key   uint64
+	Value uint64
+}

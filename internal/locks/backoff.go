@@ -91,5 +91,19 @@ func (l *OptLockBackoff) Upgrade(c *Ctx, t *Token) bool {
 // CloseWindow is a no-op.
 func (l *OptLockBackoff) CloseWindow(Token) {}
 
+// BumpVersion advances an unlocked word's version (node recycling);
+// skipped while held, when the holder's release bumps it instead.
+func (l *OptLockBackoff) BumpVersion() {
+	for {
+		v := l.word.Load()
+		if v&optLockedBit != 0 {
+			return
+		}
+		if l.word.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
 // Pessimistic reports false.
 func (l *OptLockBackoff) Pessimistic() bool { return false }

@@ -82,6 +82,10 @@ type Ctx struct {
 	q    []*core.QNode
 	rw   []*rwNode
 	rng  uint64
+	// free is this worker's node-recycling cache: one small stack per
+	// Recycler slot (see recycle.go), flushed to the shared pools on
+	// Close.
+	free [recycleSlots]freeCache
 	// obs is this worker's event counter set; nil disables counting
 	// (obs.Counters methods are nil-safe no-ops). Lock adapters and the
 	// index substrates bump it — never internal/core, whose 8-byte word
@@ -143,6 +147,11 @@ func (c *Ctx) Close() {
 	}
 	c.q = nil
 	c.rw = nil
+	for i := range c.free {
+		if c.free[i].owner != nil {
+			c.free[i].flush()
+		}
+	}
 }
 
 func (c *Ctx) getQ() *core.QNode {

@@ -128,3 +128,7 @@ func (l *OptiQLLock) CloseWindow(Token) {
 
 // Pessimistic reports false: readers are optimistic.
 func (l *OptiQLLock) Pessimistic() bool { return false }
+
+// BumpVersion advances the version of an unlocked word (node
+// recycling; see recycle.go and core.OptiQL.BumpVersion).
+func (l *OptiQLLock) BumpVersion() { l.l.BumpVersion() }

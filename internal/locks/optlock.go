@@ -84,5 +84,21 @@ func (l *OptLock) Upgrade(c *Ctx, t *Token) bool {
 // opportunistic read window.
 func (l *OptLock) CloseWindow(Token) {}
 
+// BumpVersion advances the version of an unlocked word so readers
+// holding older snapshots fail validation (node recycling; see
+// recycle.go). If the lock is held, the holder's own release will bump
+// the version, so the CAS is simply skipped.
+func (l *OptLock) BumpVersion() {
+	for {
+		v := l.word.Load()
+		if v&optLockedBit != 0 {
+			return
+		}
+		if l.word.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
 // Pessimistic reports false: readers validate instead of blocking.
 func (l *OptLock) Pessimistic() bool { return false }

@@ -1,0 +1,131 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Type-stable node recycling (the paper's §6.1 reuse discipline, made
+// explicit). An index that frees nodes during structural modifications
+// hands them to a Recycler instead of dropping them for the GC; later
+// allocations of the same node class take them back. Reuse is safe
+// under in-flight optimistic readers because:
+//
+//   - a node is recycled together with its lock, and the lock's version
+//     word is never reset — it only moves forward. Any reader holding a
+//     version snapshot from the node's previous life fails validation,
+//     because the structural modification that freed the node bumped
+//     the version at ReleaseEx (and BumpOnReuse bumps it again,
+//     defensively, in case a free site ever releases without a
+//     modification);
+//   - nodes are type-stable: a Recycler serves exactly one node class
+//     of one tree, so a stale pointer always refers to an object of the
+//     layout the reader expects — torn field reads are possible but are
+//     rejected by the validation above, never misinterpreted;
+//   - pessimistic schemes never hold stale pointers at all (their
+//     shared acquisitions block), so reinitialization is race-free for
+//     the schemes the race detector runs.
+//
+// The cache hierarchy mirrors internal/core's qnode pool: a small
+// per-Ctx (per-worker) array absorbs the common split/merge churn with
+// no synchronization, overflowing into a shared sync.Pool.
+
+const (
+	// recycleSlots is the number of per-Ctx cache slots. Each Recycler
+	// hashes to one slot; a worker driving more Recyclers than slots
+	// (several trees at once) evicts between them through the shared
+	// pools, which is correct, just colder.
+	recycleSlots = 8
+	// recycleDepth bounds the nodes one Ctx slot holds. Splits and
+	// merges free at most a handful of nodes per operation, so a short
+	// stack captures the churn while keeping eviction cheap.
+	recycleDepth = 16
+)
+
+// recyclerSeq assigns each Recycler its Ctx slot round-robin.
+var recyclerSeq atomic.Uint32
+
+// Recycler is a free list for one node class of one tree. Get/Put are
+// cheap when called with the owning worker's Ctx (a slice index and a
+// store); without a Ctx they fall through to the shared sync.Pool.
+type Recycler struct {
+	slot uint32
+	pool sync.Pool
+}
+
+// NewRecycler creates an empty free list.
+func NewRecycler() *Recycler {
+	return &Recycler{slot: recyclerSeq.Add(1) % recycleSlots}
+}
+
+// freeCache is one Ctx slot: a small stack of nodes owned by a single
+// Recycler. The owner tag keeps classes from ever mixing — a slot
+// reused by a different Recycler (another tree, or the other node
+// class) is flushed to its previous owner's shared pool first.
+type freeCache struct {
+	owner *Recycler
+	n     int
+	items [recycleDepth]any
+}
+
+func (s *freeCache) flush() {
+	for i := 0; i < s.n; i++ {
+		s.owner.pool.Put(s.items[i])
+		s.items[i] = nil
+	}
+	s.n = 0
+}
+
+// Get returns a previously freed node, or nil when the caller must
+// allocate. c may be nil (tree construction paths).
+func (r *Recycler) Get(c *Ctx) any {
+	if c != nil {
+		s := &c.free[r.slot]
+		if s.owner == r && s.n > 0 {
+			s.n--
+			x := s.items[s.n]
+			s.items[s.n] = nil
+			return x
+		}
+	}
+	return r.pool.Get()
+}
+
+// Put stores a freed node for reuse. The node must be unreachable from
+// the structure and its lock released; the caller is expected to have
+// cleared any child pointers so the pool does not pin subtrees.
+func (r *Recycler) Put(c *Ctx, x any) {
+	if c == nil {
+		r.pool.Put(x)
+		return
+	}
+	s := &c.free[r.slot]
+	if s.owner != r {
+		if s.owner != nil {
+			s.flush()
+		}
+		s.owner = r
+	}
+	if s.n == recycleDepth {
+		r.pool.Put(x)
+		return
+	}
+	s.items[s.n] = x
+	s.n++
+}
+
+// VersionBumper is implemented by the optimistic locks: BumpVersion
+// advances the version word of an unlocked lock, so that optimistic
+// readers still holding a snapshot from before the bump fail
+// validation. Pessimistic locks (whose readers block and hence can
+// never hold a stale snapshot) do not implement it.
+type VersionBumper interface{ BumpVersion() }
+
+// BumpOnReuse advances l's version if the scheme validates reads
+// against it. Called by the index substrates when a recycled node is
+// taken back into use, before any field of the node is rewritten.
+func BumpOnReuse(l Lock) {
+	if b, ok := l.(VersionBumper); ok {
+		b.BumpVersion()
+	}
+}

@@ -24,6 +24,28 @@ type pending struct {
 	resp      wire.Response
 	remaining atomic.Int32
 	ready     chan struct{}
+	// scanBufs holds the pooled buffers whose storage the response's
+	// Pairs alias; the writer returns them once the frame is encoded.
+	// Appended only by the reader goroutine before opDone, read by the
+	// writer after ready closes.
+	scanBufs []*scanBuf
+}
+
+// release returns the pooled scan buffers backing this response. The
+// response's Pairs must not be read afterwards — their storage is back
+// in the pool — so they are cleared here.
+func (p *pending) release() {
+	if p.scanBufs == nil {
+		return
+	}
+	p.resp.Pairs = nil
+	for i := range p.resp.Sub {
+		p.resp.Sub[i].Pairs = nil
+	}
+	for _, sb := range p.scanBufs {
+		putScanBuf(sb)
+	}
+	p.scanBufs = nil
 }
 
 func newPending(req wire.Request) *pending {
@@ -63,6 +85,9 @@ type conn struct {
 // respQDepth bounds admitted-but-unanswered requests per connection;
 // a full queue blocks the reader, pushing backpressure to the client.
 const respQDepth = 512
+
+// respRetain caps the encode buffer a writer keeps across responses.
+const respRetain = 64 << 10
 
 func (s *Server) serveConn(nc net.Conn) {
 	// Pipelined small frames suffer under Nagle, and dead peers on idle
@@ -107,10 +132,10 @@ func (c *conn) readLoop() {
 	defer ctx.Close()
 	ctx.SetCounters(c.srv.reg.NewCounters())
 	br := bufio.NewReaderSize(c.nc, 64<<10)
-	var buf []byte
+	var fb wire.FrameBuf
 	for {
 		c.armRead()
-		payload, err := wire.ReadFrame(br, &buf)
+		payload, err := wire.ReadFrameBuf(br, &fb)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) && !c.srv.closing.Load() {
 				// The configured read deadline fired: an idle connection
@@ -122,6 +147,7 @@ func (c *conn) readLoop() {
 			return
 		}
 		req, err := wire.ParseRequest(payload)
+		fb.Release() // requests never alias the payload
 		if err != nil {
 			c.fail(err)
 			return
@@ -227,8 +253,10 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 		for si := range s.shards {
 			c.waitWrite(si, p)
 		}
+		pairs, sb := s.scanAll(ctx, req.Key, int(req.Max))
 		slot.Status = wire.StatusOK
-		slot.Pairs = s.scanAll(ctx, req.Key, int(req.Max))
+		slot.Pairs = pairs
+		p.scanBufs = append(p.scanBufs, sb)
 		s.stats.scans.Add(1)
 		s.stats.ops.Add(1)
 		p.opDone()
@@ -294,9 +322,11 @@ func (c *conn) writeLoop() {
 		if broken {
 			// The client is gone but the queue must still drain so the
 			// reader never blocks on a full respQ.
+			p.release()
 			continue
 		}
 		buf, err = wire.AppendResponse(buf[:0], &p.req, &p.resp)
+		p.release() // Pairs are encoded (or abandoned); pool their storage
 		if err != nil {
 			// Encoding bug or oversized result; answer with an error
 			// frame to keep the stream aligned.
@@ -311,6 +341,11 @@ func (c *conn) writeLoop() {
 		if _, err = bw.Write(buf); err != nil {
 			brk()
 			continue
+		}
+		if cap(buf) > respRetain {
+			// One huge scan response must not pin a megabyte for the
+			// connection's lifetime.
+			buf = nil
 		}
 		if len(c.respQ) == 0 {
 			if err = bw.Flush(); err != nil {

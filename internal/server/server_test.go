@@ -111,6 +111,21 @@ func TestBasicOps(t *testing.T) {
 			if !b.Sub[0].Inserted || !b.Sub[1].Inserted || b.Sub[2].Status != wire.StatusNotFound {
 				t.Fatalf("batch subs = %+v", b.Sub)
 			}
+			// Two scans in one batch: each result rides its own pooled
+			// buffer on the same pending, released together after encode.
+			b = do(wire.Batch(wire.Scan(100, 3), wire.Get(1), wire.Scan(150, 3)))
+			if b.Status != wire.StatusOK || len(b.Sub) != 3 {
+				t.Fatalf("scan batch = %+v", b)
+			}
+			for i, want := range []uint64{100, 150} {
+				sub := b.Sub[i*2]
+				if sub.Status != wire.StatusOK || len(sub.Pairs) != 3 || sub.Pairs[0].Key != want {
+					t.Fatalf("scan batch sub[%d] = %+v", i*2, sub)
+				}
+			}
+			if b.Sub[1].Value != 10 {
+				t.Fatalf("get between scans = %+v", b.Sub[1])
+			}
 		})
 	}
 }

@@ -2,7 +2,8 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"optiql/internal/art"
 	"optiql/internal/btree"
@@ -11,7 +12,7 @@ import (
 )
 
 // Index is the per-shard substrate surface the server needs: point
-// ops plus an ordered scan returning pairs. *btree.Tree and *art.Tree
+// ops plus an ordered scan appending pairs. *btree.Tree and *art.Tree
 // are adapted below. A PUT maps to Insert (which overwrites an
 // existing key and reports whether the key was new), so the server
 // needs no separate Update.
@@ -23,6 +24,10 @@ type Index interface {
 	Len() int
 }
 
+// Both substrates' scan pair types alias the repo-wide kv.KV, as does
+// wire.KV, so the adapters forward the output buffer straight through —
+// no per-pair copy, no intermediate slice.
+
 type btreeIndex struct{ t *btree.Tree }
 
 func (b btreeIndex) Lookup(c *locks.Ctx, k uint64) (uint64, bool) { return b.t.Lookup(c, k) }
@@ -30,10 +35,7 @@ func (b btreeIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return b.t.I
 func (b btreeIndex) Delete(c *locks.Ctx, k uint64) bool           { return b.t.Delete(c, k) }
 func (b btreeIndex) Len() int                                     { return b.t.Len() }
 func (b btreeIndex) Scan(c *locks.Ctx, start uint64, max int, out []wire.KV) []wire.KV {
-	for _, kv := range b.t.Scan(c, start, max, nil) {
-		out = append(out, wire.KV{Key: kv.Key, Value: kv.Value})
-	}
-	return out
+	return b.t.Scan(c, start, max, out)
 }
 
 type artIndex struct{ t *art.Tree }
@@ -43,10 +45,7 @@ func (a artIndex) Insert(c *locks.Ctx, k, v uint64) bool        { return a.t.Ins
 func (a artIndex) Delete(c *locks.Ctx, k uint64) bool           { return a.t.Delete(c, k) }
 func (a artIndex) Len() int                                     { return a.t.Len() }
 func (a artIndex) Scan(c *locks.Ctx, start uint64, max int, out []wire.KV) []wire.KV {
-	for _, kv := range a.t.Scan(c, start, max, nil) {
-		out = append(out, wire.KV{Key: kv.Key, Value: kv.Value})
-	}
-	return out
+	return a.t.Scan(c, start, max, out)
 }
 
 // newIndex builds one shard's index instance.
@@ -89,20 +88,52 @@ func (s *Server) shardFor(k uint64) *shard {
 	return s.shards[shardHash(k)%uint64(len(s.shards))]
 }
 
+// scanBuf is a pooled scan result buffer. A response's Pairs alias its
+// storage from dispatch until the writer has encoded the response
+// frame, at which point the pending releases it (conn.go). Capacity
+// starts at one MaxScan and grows as needed (several shards can each
+// contribute up to max pairs before the merge truncates); grown
+// buffers are pooled at their grown size.
+type scanBuf struct {
+	kvs []wire.KV
+}
+
+var scanBufPool = sync.Pool{New: func() any {
+	return &scanBuf{kvs: make([]wire.KV, 0, wire.MaxScan)}
+}}
+
 // scanAll merges per-shard scans into one globally ordered result of
-// up to max pairs. Keys are hash-partitioned, so a range covers every
-// shard: each shard contributes its first max pairs >= start and the
-// merge keeps the smallest max overall. The result is not a snapshot —
-// shards are scanned one after another — matching the per-leaf
-// (rather than whole-range) consistency the underlying scans provide.
-func (s *Server) scanAll(c *locks.Ctx, start uint64, max int) []wire.KV {
-	var all []wire.KV
+// up to max pairs, staged in a pooled buffer the caller must hand back
+// (pending.release) once the response is encoded. Keys are
+// hash-partitioned, so a range covers every shard: each shard
+// contributes its first max pairs >= start and the merge keeps the
+// smallest max overall. The result is not a snapshot — shards are
+// scanned one after another — matching the per-leaf (rather than
+// whole-range) consistency the underlying scans provide.
+func (s *Server) scanAll(c *locks.Ctx, start uint64, max int) ([]wire.KV, *scanBuf) {
+	sb := scanBufPool.Get().(*scanBuf)
+	all := sb.kvs[:0]
 	for _, sh := range s.shards {
 		all = sh.idx.Scan(c, start, max, all)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	slices.SortFunc(all, func(a, b wire.KV) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+	sb.kvs = all // keep any growth for reuse
 	if len(all) > max {
 		all = all[:max]
 	}
-	return all
+	return all, sb
+}
+
+// putScanBuf returns a scan buffer to the pool.
+func putScanBuf(sb *scanBuf) {
+	sb.kvs = sb.kvs[:0]
+	scanBufPool.Put(sb)
 }

@@ -22,7 +22,7 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	pending []Request // FIFO of unanswered requests
-	rbuf    []byte
+	rbuf    FrameBuf
 	timeout time.Duration
 	err     error // sticky; set by the first transport/decode failure
 }
@@ -141,13 +141,14 @@ func (c *Client) Recv() (Response, error) {
 	if err := c.Flush(); err != nil {
 		return Response{}, err
 	}
-	payload, err := ReadFrame(c.br, &c.rbuf)
+	payload, err := ReadFrameBuf(c.br, &c.rbuf)
 	if err != nil {
 		return Response{}, c.poison(err)
 	}
 	req := c.pending[0]
 	c.pending = c.pending[1:]
 	resp, err := ParseResponse(payload, &req)
+	c.rbuf.Release() // resp owns its data; a big frame's buffer goes back
 	if err != nil {
 		return resp, c.poison(err)
 	}

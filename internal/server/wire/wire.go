@@ -38,6 +38,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+
+	"optiql/internal/kv"
 )
 
 // Opcodes.
@@ -68,11 +71,10 @@ const (
 	MaxBatch = 1024
 )
 
-// KV is one key/value pair in a SCAN response.
-type KV struct {
-	Key   uint64
-	Value uint64
-}
+// KV is one key/value pair in a SCAN response. It aliases the
+// repo-wide pair type, so index scan results pass through the server
+// without per-pair conversion.
+type KV = kv.KV
 
 // Request is one decoded client request. For OpBatch only Sub is
 // meaningful; Max is the SCAN result cap.
@@ -294,9 +296,9 @@ func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error
 			return nil, fmt.Errorf("wire: scan response with %d pairs exceeds %d", len(resp.Pairs), MaxScan)
 		}
 		dst = appendU32(dst, uint32(len(resp.Pairs)))
-		for _, kv := range resp.Pairs {
-			dst = appendU64(dst, kv.Key)
-			dst = appendU64(dst, kv.Value)
+		for _, pr := range resp.Pairs {
+			dst = appendU64(dst, pr.Key)
+			dst = appendU64(dst, pr.Value)
 		}
 	case OpBatch:
 		if len(resp.Sub) != len(req.Sub) {
@@ -433,6 +435,79 @@ func ReadFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
 		*buf = make([]byte, n)
 	}
 	payload := (*buf)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// frameRetain is the largest read buffer a FrameBuf keeps to itself
+// between frames. The overwhelming majority of frames are tens of
+// bytes; anything larger is served from a shared pool and returned as
+// soon as the payload has been parsed, so one huge frame does not pin
+// up to MaxFrame of memory for the rest of the connection's lifetime
+// (which ReadFrame's grow-only buffer does).
+const frameRetain = 64 << 10
+
+// bigFramePool serves the rare above-frameRetain payloads. Entries are
+// full MaxFrame buffers so a Get never needs to grow.
+var bigFramePool = sync.Pool{New: func() any {
+	b := make([]byte, MaxFrame)
+	return &b
+}}
+
+// FrameBuf is a reusable frame read buffer with bounded retention: a
+// small buffer is kept across frames, large ones are borrowed from a
+// shared pool for exactly one frame. The zero value is ready to use.
+type FrameBuf struct {
+	small []byte
+	big   *[]byte
+}
+
+// take returns a buffer with room for an n-byte payload.
+func (f *FrameBuf) take(n int) []byte {
+	if n <= frameRetain {
+		if cap(f.small) < n {
+			f.small = make([]byte, frameRetain)
+		}
+		return f.small[:n]
+	}
+	if f.big == nil {
+		f.big = bigFramePool.Get().(*[]byte)
+	}
+	return (*f.big)[:n]
+}
+
+// Release returns a borrowed large buffer to the shared pool. Call it
+// once the previous payload has been fully consumed (parsed into an
+// owned Request/Response — the parsers never alias the payload);
+// calling it with no borrow outstanding is a no-op.
+func (f *FrameBuf) Release() {
+	if f.big != nil {
+		bigFramePool.Put(f.big)
+		f.big = nil
+	}
+}
+
+// ReadFrameBuf is ReadFrame against a FrameBuf: the returned payload
+// aliases the FrameBuf's storage and is valid until the next call or
+// Release, whichever comes first.
+func ReadFrameBuf(br *bufio.Reader, fb *FrameBuf) ([]byte, error) {
+	// The header is staged in the retained buffer rather than a local
+	// array: a local escapes through the io.ReadFull interface call and
+	// would cost one heap allocation per frame.
+	hdr := fb.take(4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds %d", n, MaxFrame)
+	}
+	payload := fb.take(int(n))
 	if _, err := io.ReadFull(br, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF

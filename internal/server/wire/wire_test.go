@@ -67,7 +67,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Put(1, 2), Response{Status: StatusOK, Inserted: false}},
 		{Del(1), Response{Status: StatusOK}},
 		{Del(1), Response{Status: StatusNotFound}},
-		{Scan(0, 4), Response{Status: StatusOK, Pairs: []KV{{1, 10}, {2, 20}}}},
+		{Scan(0, 4), Response{Status: StatusOK, Pairs: []KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}}}},
 		{Scan(0, 4), Response{Status: StatusOK, Pairs: nil}},
 		{Get(9), Response{Status: StatusErr, Err: "boom"}},
 		{Batch(Get(1), Put(2, 3)), Response{Status: StatusOK, Sub: []Response{
