@@ -1,0 +1,40 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make lint` is the pre-push gate.
+
+GO ?= go
+
+.PHONY: all build test race lint vet bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/core/ ./internal/locks/ ./internal/hist/ ./internal/btree/ ./internal/art/ ./internal/server/...
+
+# lint builds the optiqlvet multichecker once and runs it both
+# standalone (module-wide facts, unused-suppression reporting) and via
+# go vet's -vettool protocol (per-package, integrates with the build
+# cache). The binary is cached in bin/ and rebuilt only when its
+# sources change, via go build's own staleness check.
+lint: bin/optiqlvet
+	./bin/optiqlvet ./...
+	$(GO) vet -vettool=$(abspath bin/optiqlvet) ./...
+
+bin/optiqlvet: FORCE
+	$(GO) build -o bin/optiqlvet ./cmd/optiqlvet
+
+FORCE:
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkLookup|BenchmarkARTLookup|BenchmarkOptimisticRead' -benchmem -count 6 ./internal/btree/ ./internal/art/ ./internal/core/
+
+clean:
+	rm -rf bin

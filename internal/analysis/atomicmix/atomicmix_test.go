@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./atomicmix", atomicmix.Analyzer)
+}

@@ -1,0 +1,101 @@
+// Package driver runs the full optiqlvet suite over a module — the
+// multichecker behind `go run ./cmd/optiqlvet ./...` and the `make
+// lint` / CI entry point. Unlike the per-package `go vet -vettool`
+// mode (see unitchecker), the driver sees the whole module at once,
+// so two-phase analyzers (atomicmix) get module-wide facts and unused
+// suppression directives can be reported.
+package driver
+
+import (
+	"fmt"
+	"io"
+
+	"optiql/internal/analysis"
+	"optiql/internal/analysis/atomicmix"
+	"optiql/internal/analysis/expair"
+	"optiql/internal/analysis/load"
+	"optiql/internal/analysis/noalloc"
+	"optiql/internal/analysis/padalign"
+	"optiql/internal/analysis/recycle"
+	"optiql/internal/analysis/shcheck"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		shcheck.Analyzer,
+		expair.Analyzer,
+		noalloc.Analyzer,
+		atomicmix.Analyzer,
+		padalign.Analyzer,
+		recycle.Analyzer,
+	}
+}
+
+// ByName resolves a comma-free analyzer name against the suite.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Report is one driver invocation's outcome.
+type Report struct {
+	Result      *load.Result
+	Diagnostics []analysis.Diagnostic
+}
+
+// Run loads the packages matched by cfg and applies the analyzers:
+// first every Collect phase over every package (module-wide facts),
+// then every Run phase, with suppression directives applied and
+// unused directives reported.
+func Run(cfg load.Config, analyzers []*analysis.Analyzer) (*Report, error) {
+	res, err := load.Load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	facts := make(map[string]*analysis.FactSet, len(analyzers))
+	for _, a := range analyzers {
+		facts[a.Name] = analysis.NewFactSet()
+	}
+
+	for _, a := range analyzers {
+		if a.Collect == nil {
+			continue
+		}
+		for _, pkg := range res.Targets {
+			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, res.Sizes, facts[a.Name], nil)
+			a.Collect(pass)
+		}
+	}
+
+	var all []analysis.Diagnostic
+	for _, pkg := range res.Targets {
+		igs, diags := analysis.ParseIgnores(res.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, res.Sizes, facts[a.Name],
+				func(d analysis.Diagnostic) { diags = append(diags, d) })
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		all = append(all, analysis.FilterIgnored(res.Fset, igs, diags, true)...)
+	}
+	analysis.SortDiagnostics(res.Fset, all)
+	return &Report{Result: res, Diagnostics: all}, nil
+}
+
+// Print writes type errors and diagnostics in vet format and reports
+// whether the run found anything (the process exit condition).
+func (r *Report) Print(w io.Writer) bool {
+	for _, err := range r.Result.TypeErrors {
+		fmt.Fprintf(w, "typecheck: %v\n", err)
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(w, "%s: %s [%s]\n", r.Result.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(r.Result.TypeErrors) > 0 || len(r.Diagnostics) > 0
+}

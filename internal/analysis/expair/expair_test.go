@@ -1,0 +1,12 @@
+package expair_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/expair"
+)
+
+func TestExpair(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./expair", expair.Analyzer)
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/shcheck"
+)
+
+// TestIgnoreDirectives exercises the suppression machinery end to
+// end through the driver: same-line and line-above suppression,
+// malformed directives (no analyzer, no reason) reported as
+// ignorecheck findings, and stale directives reported as unused.
+func TestIgnoreDirectives(t *testing.T) {
+	analysistest.RunPattern(t, "testdata", "./ignore", shcheck.Analyzer)
+}

@@ -1,0 +1,281 @@
+// Package noalloc rejects allocating constructs in functions
+// annotated `//optiql:noalloc` — the point-read, scan and wire paths
+// whose 0 allocs/op budgets are pinned dynamically by the
+// alloc_test.go suites (PR 4). The analyzer makes the same budget a
+// compile-time property: a regression is reported at the exact
+// construct, not as a flaky benchmark delta.
+//
+// Flagged constructs:
+//
+//   - make and new calls, and composite literals that heap-allocate
+//     (slice and map literals, and &T{...} pointer literals); plain
+//     struct values (KV{...}) are stack-friendly and allowed
+//   - append whose result is not reassigned to its own first argument
+//     (x = append(x, ...) is amortized-zero into a reused buffer and
+//     allowed; y := append(x, ...) grows a new backing array)
+//   - function literals (closure environments live on the heap)
+//   - boxing a non-pointer value into an interface (explicit
+//     conversions, call arguments, assignments and returns); pointers
+//     and constants box without allocating and are allowed
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - go statements and defers inside loops
+//
+// The check is per-construct and intraprocedural: calls to
+// unannotated helpers are trusted (the dynamic alloc tests keep them
+// honest), which is the documented soundness gap. Intentional cold
+// paths inside a hot function (fallback buffers for oversized
+// fanouts) carry an optiqlvet:ignore with their justification.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"optiql/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //optiql:noalloc must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !analysis.HasAnnotation(fd.Doc, "noalloc") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, name, e, stack)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, name, e, stack)
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "function literal in noalloc function %s (closure environments allocate)", name)
+			return false // don't descend; one report suffices
+		case *ast.BinaryExpr:
+			checkConcat(pass, name, e)
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement in noalloc function %s (new goroutine allocates)", name)
+		case *ast.DeferStmt:
+			if inLoop(stack) {
+				pass.Reportf(e.Pos(), "defer inside a loop in noalloc function %s allocates per iteration", name)
+			}
+		case *ast.AssignStmt, *ast.ReturnStmt:
+			checkImplicitBoxing(pass, name, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast.Node) {
+	switch analysis.BuiltinName(pass.Info, call) {
+	case "make":
+		pass.Reportf(call.Pos(), "make in noalloc function %s", name)
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new in noalloc function %s", name)
+		return
+	case "append":
+		if !appendInPlace(pass, call, stack) {
+			pass.Reportf(call.Pos(), "append result not reassigned to its own first argument in noalloc function %s (growth allocates a new backing array)", name)
+		}
+		return
+	}
+	// Conversions: T(x) parses as a CallExpr.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, name, call, tv.Type)
+		return
+	}
+	// Interface-boxing call arguments.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt != nil {
+			checkBox(pass, name, arg, pt)
+		}
+	}
+}
+
+// appendInPlace reports whether the append call's result is assigned
+// back over its first argument (`x = append(x, ...)`), the
+// amortized-zero reuse idiom.
+func appendInPlace(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	return types.ExprString(asg.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+func checkCompositeLit(pass *analysis.Pass, name string, lit *ast.CompositeLit, stack []ast.Node) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch types.Unalias(tv.Type).Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in noalloc function %s", name)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in noalloc function %s", name)
+	default:
+		// &T{...}: the pointer forces a heap allocation.
+		if len(stack) > 0 {
+			if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+				pass.Reportf(lit.Pos(), "&composite literal in noalloc function %s (escaping pointer allocates)", name)
+			}
+		}
+	}
+}
+
+func checkConcat(pass *analysis.Pass, name string, e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded
+		return
+	}
+	if b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		pass.Reportf(e.Pos(), "non-constant string concatenation in noalloc function %s", name)
+	}
+}
+
+func checkConversion(pass *analysis.Pass, name string, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	tu := types.Unalias(target).Underlying()
+	su := types.Unalias(src.Type).Underlying()
+	if isString(tu) && isByteOrRuneSlice(su) || isByteOrRuneSlice(tu) && isString(su) {
+		if src.Value == nil {
+			pass.Reportf(call.Pos(), "string conversion copies in noalloc function %s", name)
+		}
+		return
+	}
+	if types.IsInterface(tu) {
+		checkBox(pass, name, call.Args[0], target)
+	}
+}
+
+// checkImplicitBoxing covers interface boxing through assignment and
+// return statements.
+func checkImplicitBoxing(pass *analysis.Pass, name string, n ast.Node) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return
+		}
+		for i := range s.Lhs {
+			if lt, ok := pass.Info.Types[s.Lhs[i]]; ok {
+				checkBox(pass, name, s.Rhs[i], lt.Type)
+			}
+		}
+	case *ast.ReturnStmt:
+		// Conservative: only direct single-result boxing is caught
+		// here; the result types come from the enclosing signature,
+		// which WalkStack does not carry. Explicit conversions and
+		// call arguments cover the common cases.
+	}
+}
+
+// checkBox reports a non-pointer, non-constant concrete value being
+// boxed into an interface-typed slot.
+func checkBox(pass *analysis.Pass, name string, arg ast.Expr, target types.Type) {
+	tu := types.Unalias(target).Underlying()
+	if !types.IsInterface(tu) {
+		return
+	}
+	av, ok := pass.Info.Types[arg]
+	if !ok || av.Type == nil {
+		return
+	}
+	if av.Value != nil { // constants box to static interface data
+		return
+	}
+	at := types.Unalias(av.Type).Underlying()
+	if types.IsInterface(at) {
+		return // already an interface; no new box
+	}
+	switch at.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	case *types.Basic:
+		if at.(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(), "value of type %s boxed into interface in noalloc function %s", av.Type, name)
+}
+
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	return sig
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

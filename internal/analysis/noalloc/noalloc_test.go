@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./noalloc", noalloc.Analyzer)
+}

@@ -1,0 +1,106 @@
+// Package padalign keeps the cache-line discipline of the per-worker
+// hot structures honest. OptiQL's queue-based exclusive path hands
+// every waiter its own qnode; the paper's robustness argument (§4.3,
+// Fig. 9) depends on waiters spinning on *their own line* instead of
+// hammering the shared lock word. The same false-sharing argument
+// applies to the per-worker observability counters (PR 1): two
+// workers bumping adjacent counters must not ping-pong a line.
+//
+// The discipline is expressed in source as the `//optiql:cacheline`
+// annotation on a struct type. padalign verifies, using the real gc
+// sizes for the build architecture, that every annotated struct's
+// size is a non-zero multiple of 64 bytes — so elements of a
+// contiguous slice of them never share a line (given 64-byte-aligned
+// allocation, which Go's size-class allocator provides for sizes that
+// are multiples of 64).
+//
+// It also pins the two structures the issue names — the queue node
+// (internal/core.QNode) and the per-worker counter block
+// (internal/obs.Counters) — by requiring the annotation to be present
+// on them: deleting the comment is itself a finding, so the
+// invariant cannot be silently unpinned.
+package padalign
+
+import (
+	"go/ast"
+	"go/types"
+
+	"optiql/internal/analysis"
+)
+
+// Analyzer is the padalign pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc:  "structs annotated //optiql:cacheline must be a non-zero multiple of 64 bytes",
+	Run:  run,
+}
+
+const cacheLine = 64
+
+// pinned maps package name to the struct types that must carry the
+// annotation. Matching is by package name (not path) so the testdata
+// stubs exercise the same code path as the real tree.
+var pinned = map[string][]string{
+	"core": {"QNode"},
+	"obs":  {"Counters"},
+}
+
+func run(pass *analysis.Pass) error {
+	want := map[string]bool{}
+	for _, name := range pinned[pass.Pkg.Name()] {
+		want[name] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				annotated := analysis.HasAnnotation(doc, "cacheline")
+				if want[ts.Name.Name] {
+					delete(want, ts.Name.Name)
+					if !annotated {
+						pass.Reportf(ts.Pos(), "struct %s must carry //optiql:cacheline (per-worker hot structure; see DESIGN.md §10)", ts.Name.Name)
+						continue
+					}
+				}
+				if !annotated {
+					continue
+				}
+				checkSize(pass, ts)
+			}
+		}
+	}
+	return nil
+}
+
+func checkSize(pass *analysis.Pass, ts *ast.TypeSpec) {
+	obj := pass.Info.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	if pass.Sizes == nil {
+		return
+	}
+	sz := pass.Sizes.Sizeof(t)
+	if sz == 0 || sz%cacheLine != 0 {
+		pass.Reportf(ts.Pos(), "struct %s is %d bytes, not a non-zero multiple of %d: adjacent elements share a cache line (add or resize the pad field)",
+			ts.Name.Name, sz, cacheLine)
+	}
+}

@@ -1,0 +1,12 @@
+package padalign_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/padalign"
+)
+
+func TestPadalign(t *testing.T) {
+	analysistest.Run(t, "../testdata", []string{"./padalign/..."}, padalign.Analyzer)
+}

@@ -1,0 +1,12 @@
+package recycle_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/recycle"
+)
+
+func TestRecycle(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./recycle", recycle.Analyzer)
+}

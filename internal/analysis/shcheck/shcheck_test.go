@@ -1,0 +1,12 @@
+package shcheck_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/shcheck"
+)
+
+func TestShcheck(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./shcheck", shcheck.Analyzer)
+}

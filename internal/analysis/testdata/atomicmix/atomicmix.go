@@ -1,0 +1,40 @@
+// Package amixtest holds the atomicmix golden cases: a field touched
+// by sync/atomic functions anywhere must be touched that way
+// everywhere; fields never accessed atomically stay unrestricted.
+package amixtest
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64 // accessed via atomic functions below
+	m uint64 // only ever accessed plainly
+}
+
+func inc(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func okAtomicRead(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func okAtomicWrite(c *counter) {
+	atomic.StoreUint64(&c.n, 0)
+}
+
+func okPlainOther(c *counter) uint64 {
+	c.m = 7
+	return c.m
+}
+
+func badPlainRead(c *counter) uint64 {
+	return c.n // want "plain read of field counter.n, which is accessed atomically"
+}
+
+func badPlainWrite(c *counter) {
+	c.n = 0 // want "plain write of field counter.n, which is accessed atomically"
+}
+
+func badPlainIncrement(c *counter) {
+	c.n++ // want "plain write of field counter.n, which is accessed atomically"
+}

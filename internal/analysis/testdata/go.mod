@@ -1,0 +1,8 @@
+// The vettest module holds the analyzers' golden-test packages: code
+// that deliberately violates the OptiQL protocol invariants, kept in
+// its own module so the main module's builds and vet runs never see
+// it. Expected diagnostics are declared in-line with `// want`
+// comments (see internal/analysis/analysistest).
+module vettest
+
+go 1.24

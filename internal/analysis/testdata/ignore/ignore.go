@@ -1,0 +1,73 @@
+// Package igtest exercises the suppression directives: a well-formed
+// directive silences exactly its analyzer on its line (or the line
+// below), a directive without a reason is itself a finding, and a
+// directive that suppresses nothing is reported as stale.
+package igtest
+
+import "vettest/locks"
+
+func read() int { return 1 }
+
+// suppressedSameLine documents an intentional deviation in-line.
+func suppressedSameLine(l *locks.OptLock, c *locks.Ctx) int {
+	tok, ok := l.AcquireSh(c)
+	if !ok {
+		return -1
+	}
+	v := read()
+	l.ReleaseSh(c, tok) //optiqlvet:ignore shcheck pessimistic fallback: result is irrelevant when the lock cannot fail validation
+	return v
+}
+
+// suppressedLineAbove uses the line-above form.
+func suppressedLineAbove(l *locks.OptLock, c *locks.Ctx) int {
+	tok, ok := l.AcquireSh(c)
+	if !ok {
+		return -1
+	}
+	v := read()
+	//optiqlvet:ignore shcheck pessimistic fallback: result is irrelevant when the lock cannot fail validation
+	l.ReleaseSh(c, tok)
+	return v
+}
+
+// missingReason: a directive without a justification is malformed —
+// it does not suppress, and is reported itself.
+func missingReason(l *locks.OptLock, c *locks.Ctx) int {
+	tok, ok := l.AcquireSh(c)
+	if !ok {
+		return -1
+	}
+	v := read()
+	l.ReleaseSh(c, tok) /*optiqlvet:ignore shcheck*/ // want "carries no reason" "validation result discarded"
+	return v
+}
+
+// missingAnalyzer: a directive naming no analyzer is malformed.
+func missingAnalyzer(l *locks.OptLock, c *locks.Ctx) int {
+	tok, ok := l.AcquireSh(c)
+	if !ok {
+		return -1
+	}
+	v := read()
+	l.ReleaseSh(c, tok) /*optiqlvet:ignore*/ // want "names no analyzer" "validation result discarded"
+	return v
+}
+
+// wrongAnalyzer: the directive names a different analyzer, so the
+// diagnostic stays and the directive is reported stale.
+func wrongAnalyzer(l *locks.OptLock, c *locks.Ctx) int {
+	tok, ok := l.AcquireSh(c)
+	if !ok {
+		return -1
+	}
+	v := read()
+	l.ReleaseSh(c, tok) /*optiqlvet:ignore expair not the analyzer that fires here*/ // want "unused optiqlvet:ignore directive" "validation result discarded"
+	return v
+}
+
+// unusedDirective suppresses nothing at all.
+func unusedDirective() int {
+	v := read() /*optiqlvet:ignore shcheck nothing ever fires on this line*/ // want "unused optiqlvet:ignore directive"
+	return v
+}

@@ -1,0 +1,113 @@
+// Package nalloctest holds the noalloc golden cases: the zero-alloc
+// idioms the hot paths use (non-flagging) and each allocating
+// construct the analyzer rejects.
+package nalloctest
+
+// KV mirrors the hot-path value struct.
+type KV struct {
+	K uint64
+	V uint64
+}
+
+func sink(x any) { _ = x }
+
+// unannotated may allocate freely — the analyzer only fires inside
+// annotated functions.
+func unannotated() []int {
+	s := make([]int, 8)
+	return append(s, 1)
+}
+
+// goodHot exercises the allowed idioms: in-place append into a reused
+// buffer, plain struct values, constant concatenation, pointer and
+// constant interface boxing, and a non-loop defer.
+//
+//optiql:noalloc
+func goodHot(buf []KV, k, v uint64, p *KV) []KV {
+	buf = append(buf, KV{K: k, V: v})
+	kv := KV{K: k}
+	kv.V = v
+	const label = "hot" + "path"
+	_ = label
+	sink(p)         // pointers are interface-word sized: no box
+	sink(42)        // constants box to static data
+	_ = []byte("k") // constant conversion: static data
+	defer sink(p)
+	return buf
+}
+
+//optiql:noalloc
+func badMake(n int) int {
+	s := make([]int, n) // want "make in noalloc function badMake"
+	return len(s)
+}
+
+//optiql:noalloc
+func badNew() *KV {
+	return new(KV) // want "new in noalloc function badNew"
+}
+
+//optiql:noalloc
+func badAppendFresh(buf []KV, kv KV) []KV {
+	out := append(buf, kv) // want "append result not reassigned to its own first argument"
+	return out
+}
+
+//optiql:noalloc
+func badSliceLit() int {
+	s := []int{1, 2, 3} // want "slice literal in noalloc function badSliceLit"
+	return len(s)
+}
+
+//optiql:noalloc
+func badMapLit() int {
+	m := map[int]int{1: 2} // want "map literal in noalloc function badMapLit"
+	return len(m)
+}
+
+//optiql:noalloc
+func badPtrLit(k uint64) *KV {
+	return &KV{K: k} // want "&composite literal in noalloc function badPtrLit"
+}
+
+//optiql:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want "function literal in noalloc function badClosure"
+}
+
+//optiql:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "non-constant string concatenation in noalloc function badConcat"
+}
+
+//optiql:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want "string conversion copies in noalloc function badStringConv"
+}
+
+//optiql:noalloc
+func badByteConv(s string) []byte {
+	return []byte(s) // want "string conversion copies in noalloc function badByteConv"
+}
+
+//optiql:noalloc
+func badBoxArg(kv KV) {
+	sink(kv) // want "value of type vettest/noalloc.KV boxed into interface"
+}
+
+//optiql:noalloc
+func badBoxConv(k uint64) any {
+	return any(k) // want "value of type uint64 boxed into interface"
+}
+
+//optiql:noalloc
+func badGo() {
+	go sink(nil) // want "go statement in noalloc function badGo"
+}
+
+//optiql:noalloc
+func badLoopDefer(p *KV) {
+	for i := 0; i < 3; i++ {
+		defer sink(p) // want "defer inside a loop in noalloc function badLoopDefer allocates per iteration"
+	}
+}

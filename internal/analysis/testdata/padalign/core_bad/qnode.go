@@ -1,0 +1,18 @@
+// Package core (bad variant): the pinned queue node lost its
+// annotation, and two annotated structs have broken layouts.
+package core
+
+type QNode struct { // want "struct QNode must carry //optiql:cacheline"
+	next uintptr
+}
+
+//optiql:cacheline
+type Waiter struct { // want "struct Waiter is 8 bytes, not a non-zero multiple of 64"
+	v uint64
+}
+
+//optiql:cacheline
+type Hole struct { // want "struct Hole is 72 bytes, not a non-zero multiple of 64"
+	a [8]uint64
+	b byte
+}

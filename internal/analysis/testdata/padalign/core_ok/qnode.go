@@ -1,0 +1,21 @@
+// Package core (good variant): the pinned queue node carries the
+// annotation and is exactly one cache line.
+package core
+
+//optiql:cacheline
+type QNode struct {
+	next uintptr
+	prev uintptr
+	val  uint64
+	_    [40]byte
+}
+
+//optiql:cacheline
+type TwoLine struct {
+	a [16]uint64 // two full lines is fine: still a 64-byte multiple
+}
+
+// Unannotated structs are unconstrained.
+type Scratch struct {
+	b byte
+}

@@ -1,0 +1,8 @@
+// Package obs (good variant): the pinned per-worker counter block is
+// annotated and cache-line sized.
+package obs
+
+//optiql:cacheline
+type Counters struct {
+	c [8]uint64
+}

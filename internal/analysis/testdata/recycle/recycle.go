@@ -1,0 +1,48 @@
+// Package rectest holds the recycle golden cases: a node taken from
+// the recycler must have its lock version bumped in the same function
+// before it is reinitialized.
+package rectest
+
+import "vettest/locks"
+
+type node struct {
+	lock locks.OptLock
+	keys [4]uint64
+}
+
+// goodHelperBump uses the locks helper, the production idiom.
+func goodHelperBump(r *locks.Recycler, c *locks.Ctx) *node {
+	n, ok := r.Get(c).(*node)
+	if !ok {
+		n = &node{}
+	}
+	locks.BumpOnReuse(&n.lock)
+	n.keys = [4]uint64{}
+	return n
+}
+
+// goodMethodBump calls BumpVersion directly.
+func goodMethodBump(r *locks.Recycler, c *locks.Ctx) *node {
+	n, ok := r.Get(c).(*node)
+	if !ok {
+		n = &node{}
+	}
+	n.lock.BumpVersion()
+	return n
+}
+
+// noRecycler never touches the recycler: unconstrained.
+func noRecycler(c *locks.Ctx) *node {
+	return &node{}
+}
+
+// badNoBump reuses a node with its old version intact: a stale
+// optimistic reader holding the node's address can still validate.
+func badNoBump(r *locks.Recycler, c *locks.Ctx) *node {
+	n, ok := r.Get(c).(*node) // want "takes a node from a recycler but never bumps its lock version"
+	if !ok {
+		n = &node{}
+	}
+	n.keys = [4]uint64{}
+	return n
+}

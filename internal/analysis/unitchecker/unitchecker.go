@@ -1,0 +1,242 @@
+// Package unitchecker implements the `go vet -vettool` protocol for
+// the optiqlvet suite, mirroring golang.org/x/tools'
+// go/analysis/unitchecker on the standard library alone.
+//
+// The go command drives the tool once per package: it first probes
+// `optiqlvet -V=full` for a version line to key its action cache,
+// then invokes `optiqlvet <unit>.cfg` with a JSON config describing
+// one compilation unit — file lists, the import map, and the paths of
+// the export data of every dependency. The tool type-checks the unit
+// against that export data (no re-building the world), runs the
+// analyzers, writes its facts file (VetxOutput) for dependents, and
+// prints diagnostics to stderr with a nonzero exit when it found any.
+//
+// Facts: the suite's string-keyed facts are serialized as JSON to the
+// vetx file and merged back in from every dependency's PackageVetx
+// entry, so atomicmix sees atomics established in imported packages.
+// Only the module-wide standalone driver, however, sees sibling
+// packages that are not imported — which is why CI runs both modes.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"optiql/internal/analysis"
+)
+
+// Config is the JSON schema of the .cfg file the go command passes,
+// field-compatible with x/tools' unitchecker.Config (the go command
+// generates it; we consume the subset we need).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPayload is what one unit writes for its dependents: per
+// analyzer, the string facts established by its Collect phase over
+// this unit (merged with those inherited from the unit's deps, so
+// facts are transitive).
+type vetxPayload map[string]map[string]string
+
+// Main runs one unit and returns the process exit code.
+func Main(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optiqlvet: %v\n", err)
+		return 1
+	}
+	diags, fset, err := run(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "optiqlvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if len(diags) > 0 {
+		analysis.SortDiagnostics(fset, diags)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if cfg.GoVersion == "" {
+		cfg.GoVersion = "go1.24"
+	}
+	return cfg, nil
+}
+
+func run(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fset, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	sizes := types.SizesFor(compiler, runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	tconf := types.Config{
+		Importer:    imp,
+		Sizes:       sizes,
+		GoVersion:   goVersionFor(cfg.GoVersion),
+		FakeImportC: true,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fset, err
+	}
+
+	// Inherit facts from dependencies, then collect this unit's own.
+	facts := make(map[string]*analysis.FactSet, len(analyzers))
+	for _, a := range analyzers {
+		facts[a.Name] = analysis.NewFactSet()
+	}
+	for _, vetx := range cfg.PackageVetx {
+		mergeVetx(vetx, facts)
+	}
+	for _, a := range analyzers {
+		if a.Collect != nil {
+			a.Collect(analysis.NewPass(a, fset, files, pkg, info, sizes, facts[a.Name], nil))
+		}
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(cfg.VetxOutput, analyzers, facts); err != nil {
+			return nil, fset, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, fset, nil
+	}
+
+	igs, diags := analysis.ParseIgnores(fset, files)
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, sizes, facts[a.Name],
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return nil, fset, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	// Per-unit runs cannot see whether a directive is needed by a
+	// sibling unit's facts arriving later, but a directive that
+	// suppresses nothing in its own unit is stale by construction, so
+	// unused reporting stays on here too.
+	diags = analysis.FilterIgnored(fset, igs, diags, true)
+	return diags, fset, nil
+}
+
+// goVersionFor normalizes the go command's GoVersion field (either
+// "go1.24" or a bare "1.24") for types.Config.
+func goVersionFor(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}
+
+func mergeVetx(path string, facts map[string]*analysis.FactSet) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return // dep analyzed by a different tool or carries no facts
+	}
+	var payload vetxPayload
+	if json.Unmarshal(data, &payload) != nil {
+		return
+	}
+	for name, kv := range payload {
+		fs, ok := facts[name]
+		if !ok {
+			continue
+		}
+		for k, v := range kv {
+			fs.Set(k, v)
+		}
+	}
+}
+
+func writeVetx(path string, analyzers []*analysis.Analyzer, facts map[string]*analysis.FactSet) error {
+	payload := make(vetxPayload, len(analyzers))
+	for _, a := range analyzers {
+		fs := facts[a.Name]
+		kv := make(map[string]string)
+		for _, k := range fs.Keys() {
+			v, _ := fs.Get(k)
+			kv[k] = v
+		}
+		payload[a.Name] = kv
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}

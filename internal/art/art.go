@@ -281,6 +281,7 @@ func (t *Tree) freeNode(c *locks.Ctx, n *node) {
 // the new key/value, but always validate the owner node — which changed
 // when the leaf was unlinked — before trusting them.
 func (t *Tree) newLeaf(c *locks.Ctx, k, v uint64) *leaf {
+	//optiqlvet:ignore recycle leaves carry no lock of their own; a stale reader validates the former owner node, whose release bumped its version when the leaf was unlinked
 	if x := t.leafFree.Get(c); x != nil {
 		l := x.(*leaf)
 		l.key, l.value = k, v

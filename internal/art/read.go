@@ -9,6 +9,8 @@ import (
 // lock coupling: node versions are validated hand over hand, and the
 // operation restarts on any failure. Under pessimistic schemes the same
 // path becomes shared lock coupling.
+//
+//optiql:noalloc
 func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
 	// retry counts a restart before re-entering; the first attempt
 	// skips it (same pattern as the B+-tree traversals).

@@ -57,6 +57,8 @@ var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 // already committed; the walk restarts after the last committed key.
 // Under pessimistic schemes the walk instead holds shared locks
 // top-down (at most one per level), in the same order writers acquire.
+//
+//optiql:noalloc
 func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	if max <= 0 {
 		return out
@@ -96,6 +98,8 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 // returning nil was read from a node that did not change while it was
 // being read, and its parent's own exit validation extends the chain
 // upward.
+//
+//optiql:noalloc
 func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBoundary bool, limit int, out *[]KV, sc *scanScratch, depth int) error {
 	if depth >= maxDepth {
 		return errRestart // deeper than any valid path: torn read upstream
@@ -106,6 +110,7 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 	}
 	pessimistic := !t.scheme.Optimistic
 	if pessimistic {
+		//optiqlvet:ignore shcheck pessimistic schemes hold a real shared lock whose release cannot fail validation; the result is meaningless here
 		defer n.lock.ReleaseSh(c, tok)
 	}
 	if onBoundary {
@@ -204,6 +209,8 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 
 // validateChain re-checks every version snapshot on the path; all must
 // be unchanged for a pair to be committed.
+//
+//optiql:noalloc
 func validateChain(c *locks.Ctx, path []pathEnt) bool {
 	for i := range path {
 		if !path[i].l.ReleaseSh(c, path[i].tok) {

@@ -12,6 +12,8 @@ import (
 // failure. Under pessimistic schemes the same code degrades gracefully
 // to shared lock coupling (acquisitions block, validation always
 // passes).
+//
+//optiql:noalloc
 func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
 	// The first attempt enters at first; every failed validation or
 	// structural recheck jumps to retry, which counts the restart and
@@ -67,6 +69,8 @@ type KV = kv.KV
 // relevant leaf and then walks the sibling chain with coupled per-leaf
 // validation: a failed validation discards the current leaf's batch
 // and restarts the scan from the first uncollected key.
+//
+//optiql:noalloc
 func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	if max <= 0 {
 		return out
@@ -78,6 +82,7 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	var tmpa [64]KV
 	tmp := tmpa[:0]
 	if t.fanout > len(tmpa) {
+		//optiqlvet:ignore noalloc cold fallback for fanouts beyond the largest size class; the alloc tests pin fanouts that stage on the stack
 		tmp = make([]KV, 0, t.fanout)
 	}
 	goto first
@@ -144,6 +149,7 @@ first:
 			last := tmp[len(tmp)-1].Key
 			if last == ^uint64(0) {
 				if nxt != nil {
+					//optiqlvet:ignore shcheck nothing was read under ntok yet; the token is dropped unused, so there is no value to validate
 					nxt.lock.ReleaseSh(c, ntok)
 				}
 				return out

@@ -23,6 +23,8 @@ const InvalidVersion = ^uint64(0)
 //
 // Queue nodes are allocated from a Pool so that their array index can
 // serve as the compact ID embedded in the 8-byte lock word.
+//
+//optiql:cacheline
 type QNode struct {
 	next    atomic.Pointer[QNode]
 	version atomic.Uint64

@@ -49,6 +49,8 @@ type MCSRW struct {
 // AcquireSh blocks until this reader's group holds the lock. Unlike
 // optimistic locks this writes shared memory (swap + counter), which is
 // exactly the overhead the paper attributes to pessimistic readers.
+//
+//optiql:noalloc
 func (l *MCSRW) AcquireSh(c *Ctx) (Token, bool) {
 	n := c.getRW()
 	n.reset(classReader)
@@ -78,6 +80,8 @@ func (l *MCSRW) AcquireSh(c *Ctx) (Token, bool) {
 
 // ReleaseSh ends a shared acquisition. The group-tail reader waits for
 // its whole group to drain and then performs the structural handover.
+//
+//optiql:noalloc
 func (l *MCSRW) ReleaseSh(c *Ctx, t Token) bool {
 	n := t.rw
 	if l.groupTail.Load() != n {
@@ -101,6 +105,8 @@ func (l *MCSRW) ReleaseSh(c *Ctx, t Token) bool {
 
 // AcquireEx blocks until the lock is granted exclusively, in FIFO
 // order with respect to all other requesters.
+//
+//optiql:noalloc
 func (l *MCSRW) AcquireEx(c *Ctx) Token {
 	n := c.getRW()
 	n.reset(classWriter)
@@ -121,6 +127,8 @@ func (l *MCSRW) AcquireEx(c *Ctx) Token {
 
 // ReleaseEx hands the lock to the successor (starting a new reader
 // group if the successor reads), or resets the tail.
+//
+//optiql:noalloc
 func (l *MCSRW) ReleaseEx(c *Ctx, t Token) {
 	l.structuralRelease(t.rw)
 	c.putRW(t.rw)
@@ -128,6 +136,8 @@ func (l *MCSRW) ReleaseEx(c *Ctx, t Token) {
 
 // structuralRelease performs the MCS-style queue handover from node n,
 // which must be the last node of the finishing group (or the writer).
+//
+//optiql:noalloc
 func (l *MCSRW) structuralRelease(n *rwNode) {
 	if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
 		return

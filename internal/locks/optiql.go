@@ -46,6 +46,8 @@ func (l *OptiQLLock) Core() *core.OptiQL { return &l.l }
 
 // AcquireSh begins an optimistic read: one load, no shared-memory
 // writes, regardless of variant.
+//
+//optiql:noalloc
 func (l *OptiQLLock) AcquireSh(c *Ctx) (Token, bool) {
 	v, ok := l.l.AcquireSh()
 	if !ok {
@@ -59,6 +61,8 @@ func (l *OptiQLLock) AcquireSh(c *Ctx) (Token, bool) {
 }
 
 // ReleaseSh validates the optimistic read.
+//
+//optiql:noalloc
 func (l *OptiQLLock) ReleaseSh(c *Ctx, t Token) bool {
 	ok := l.l.ReleaseSh(t.Version)
 	if !ok {
@@ -69,6 +73,8 @@ func (l *OptiQLLock) ReleaseSh(c *Ctx, t Token) bool {
 
 // AcquireEx joins the writer queue with a queue node drawn from the
 // Ctx and blocks until granted.
+//
+//optiql:noalloc
 func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
 	q := c.getQ()
 	var handover bool
@@ -87,6 +93,8 @@ func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
 
 // ReleaseEx releases the exclusive hold, opening the opportunistic
 // window for the successor unless the variant is NOR.
+//
+//optiql:noalloc
 func (l *OptiQLLock) ReleaseEx(c *Ctx, t Token) {
 	if l.mode == orAdjustable {
 		// The release protocol requires the window to be closed; make
@@ -105,6 +113,8 @@ func (l *OptiQLLock) ReleaseEx(c *Ctx, t Token) {
 // Upgrade converts a validated optimistic read into an exclusive hold
 // while keeping the queueing behaviour for subsequent writers
 // (Section 6.2, added for ART).
+//
+//optiql:noalloc
 func (l *OptiQLLock) Upgrade(c *Ctx, t *Token) bool {
 	q := c.getQ()
 	if !l.l.Upgrade(t.Version, q) {
@@ -120,6 +130,8 @@ func (l *OptiQLLock) Upgrade(c *Ctx, t *Token) bool {
 // CloseWindow closes the deferred opportunistic window of the AOR
 // variant; a no-op for the others (their window is already closed by
 // the time AcquireEx returns).
+//
+//optiql:noalloc
 func (l *OptiQLLock) CloseWindow(Token) {
 	if l.mode == orAdjustable {
 		l.l.CloseWindow()
@@ -131,4 +143,6 @@ func (l *OptiQLLock) Pessimistic() bool { return false }
 
 // BumpVersion advances the version of an unlocked word (node
 // recycling; see recycle.go and core.OptiQL.BumpVersion).
+//
+//optiql:noalloc
 func (l *OptiQLLock) BumpVersion() { l.l.BumpVersion() }

@@ -28,6 +28,8 @@ func (l *OptLock) Word() uint64 { return l.word.Load() }
 
 // AcquireSh snapshots the word; the read may proceed iff the locked bit
 // is clear.
+//
+//optiql:noalloc
 func (l *OptLock) AcquireSh(c *Ctx) (Token, bool) {
 	v := l.word.Load()
 	ok := v&optLockedBit == 0
@@ -38,6 +40,8 @@ func (l *OptLock) AcquireSh(c *Ctx) (Token, bool) {
 }
 
 // ReleaseSh validates that the word is unchanged since AcquireSh.
+//
+//optiql:noalloc
 func (l *OptLock) ReleaseSh(c *Ctx, t Token) bool {
 	ok := l.word.Load() == t.Version
 	if !ok {
@@ -51,6 +55,8 @@ func (l *OptLock) ReleaseSh(c *Ctx, t Token) bool {
 // contention many threads still retry the CAS on the same cacheline.
 // Centralized locks have no handover path, so every grant counts as a
 // free-word acquisition.
+//
+//optiql:noalloc
 func (l *OptLock) AcquireEx(c *Ctx) Token {
 	var s core.Spinner
 	for {
@@ -65,12 +71,16 @@ func (l *OptLock) AcquireEx(c *Ctx) Token {
 
 // ReleaseEx increments the version and clears the locked bit in one
 // plain store (the holder is the only writer).
+//
+//optiql:noalloc
 func (l *OptLock) ReleaseEx(_ *Ctx, _ Token) {
 	l.word.Store((l.word.Load() + 1) &^ optLockedBit)
 }
 
 // Upgrade converts a validated read into an exclusive hold by CASing
 // from the snapshot to the locked word, the standard OLC "upgrade".
+//
+//optiql:noalloc
 func (l *OptLock) Upgrade(c *Ctx, t *Token) bool {
 	if t.Version&optLockedBit == 0 && l.word.CompareAndSwap(t.Version, t.Version|optLockedBit) {
 		c.Counters().Inc(obs.EvUpgradeOK)
@@ -82,12 +92,16 @@ func (l *OptLock) Upgrade(c *Ctx, t *Token) bool {
 
 // CloseWindow is a no-op: centralized optimistic locks have no
 // opportunistic read window.
+//
+//optiql:noalloc
 func (l *OptLock) CloseWindow(Token) {}
 
 // BumpVersion advances the version of an unlocked word so readers
 // holding older snapshots fail validation (node recycling; see
 // recycle.go). If the lock is held, the holder's own release will bump
 // the version, so the CAS is simply skipped.
+//
+//optiql:noalloc
 func (l *OptLock) BumpVersion() {
 	for {
 		v := l.word.Load()

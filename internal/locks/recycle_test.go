@@ -1,0 +1,127 @@
+package locks
+
+import (
+	"testing"
+
+	"optiql/internal/core"
+)
+
+// TestBumpOnReuseInvalidatesStaleTokens pins the node-recycling safety
+// argument (recycle.go): a reader whose shared token predates a node's
+// reuse must fail validation, for every optimistic scheme. This is the
+// invariant the recycle analyzer enforces at Recycler.Get sites; the
+// test is its dynamic counterpart.
+func TestBumpOnReuseInvalidatesStaleTokens(t *testing.T) {
+	for name, s := range schemes {
+		if !s.Optimistic {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			pool := core.NewPool(8)
+			c := newCtx(t, pool)
+			l := s.NewLock()
+
+			tok, ok := l.AcquireSh(c)
+			if !ok {
+				t.Fatal("AcquireSh on an idle lock failed")
+			}
+			BumpOnReuse(l)
+			if l.ReleaseSh(c, tok) {
+				t.Fatal("stale token validated after BumpOnReuse")
+			}
+
+			// A token taken after the bump validates normally.
+			tok, ok = l.AcquireSh(c)
+			if !ok {
+				t.Fatal("AcquireSh after bump failed")
+			}
+			if !l.ReleaseSh(c, tok) {
+				t.Fatal("fresh token failed validation")
+			}
+		})
+	}
+}
+
+// TestBumpOnReuseSkipsHeldLock pins the skip-if-locked contract: the
+// holder's own release bumps the version, so BumpOnReuse must neither
+// spin nor corrupt the held word.
+func TestBumpOnReuseSkipsHeldLock(t *testing.T) {
+	pool := core.NewPool(8)
+	c := newCtx(t, pool)
+	var l OptLock
+	tok := l.AcquireEx(c)
+	before := l.Word()
+	BumpOnReuse(&l)
+	if w := l.Word(); w != before {
+		t.Fatalf("BumpOnReuse changed a held word: %#x -> %#x", before, w)
+	}
+	l.ReleaseEx(c, tok)
+	if _, ok := l.AcquireSh(c); !ok {
+		t.Fatal("lock unusable after release")
+	}
+}
+
+// TestBumpOnReusePessimisticNoop pins that pessimistic locks, which
+// never hand out stale snapshots, are accepted unchanged.
+func TestBumpOnReusePessimisticNoop(t *testing.T) {
+	for name, s := range schemes {
+		if s.Optimistic || !s.SharedMode {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			pool := core.NewPool(8)
+			c := newCtx(t, pool)
+			l := s.NewLock()
+			BumpOnReuse(l) // must not panic
+			tok, ok := l.AcquireSh(c)
+			if !ok {
+				t.Fatal("AcquireSh failed")
+			}
+			if !l.ReleaseSh(c, tok) {
+				t.Fatal("pessimistic ReleaseSh reported failure")
+			}
+		})
+	}
+}
+
+// TestRecyclerRoundTrip pins the Ctx fast path and the class-mixing
+// flush: a node Put with the owning Ctx comes back from Get, and a
+// slot taken over by a different Recycler drains to the old owner's
+// shared pool rather than leaking across classes. The recycled values
+// here are plain test structs with no lock, so the recycle analyzer's
+// bump-before-reuse rule does not apply.
+func TestRecyclerRoundTrip(t *testing.T) {
+	pool := core.NewPool(8)
+	c := newCtx(t, pool)
+	r := NewRecycler()
+
+	type nodeA struct{ v int }
+	n := &nodeA{v: 42}
+	r.Put(c, n)
+	//optiqlvet:ignore recycle the pooled values are lockless test structs; there is no version to bump
+	got, _ := r.Get(c).(*nodeA)
+	if got != n {
+		t.Fatalf("Get = %v, want the node just Put", got)
+	}
+	//optiqlvet:ignore recycle the pooled values are lockless test structs; there is no version to bump
+	if x := r.Get(c); x != nil {
+		t.Fatalf("empty recycler Get = %v, want nil", x)
+	}
+
+	// Force both recyclers onto the same Ctx slot so the second Put
+	// must flush the first class to its shared pool.
+	r2 := NewRecycler()
+	r2.slot = r.slot
+	type nodeB struct{ v int }
+	r.Put(c, &nodeA{v: 1})
+	r2.Put(c, &nodeB{v: 2})
+	//optiqlvet:ignore recycle the pooled values are lockless test structs; there is no version to bump
+	if x, ok := r2.Get(c).(*nodeB); !ok {
+		t.Fatalf("class B Get = %T, want *nodeB", x)
+	}
+	// The class-A node survived in r's shared pool.
+	//optiqlvet:ignore recycle the pooled values are lockless test structs; there is no version to bump
+	if x, ok := r.Get(c).(*nodeA); !ok || x.v != 1 {
+		t.Fatalf("class A node lost in flush: %v %v", x, ok)
+	}
+}

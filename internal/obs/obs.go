@@ -166,6 +166,8 @@ const countersSize = (int(NumEvents)*8 + cacheLine - 1) / cacheLine * cacheLine
 // own. Increment via atomics: each worker owns its set exclusively, so
 // the adds are uncontended single-cacheline operations, while the live
 // /metrics handler can read a consistent value concurrently.
+//
+//optiql:cacheline
 type Counters struct {
 	// The pad sits first: a zero-length trailing array would itself be
 	// padded (Go sizes structs so a past-the-end pointer to a final
@@ -176,6 +178,8 @@ type Counters struct {
 }
 
 // Inc adds one to the event's counter. Safe (and a no-op) on nil.
+//
+//optiql:noalloc
 func (c *Counters) Inc(e Event) {
 	if c != nil {
 		c.c[e].Add(1)
@@ -183,6 +187,8 @@ func (c *Counters) Inc(e Event) {
 }
 
 // Add adds n to the event's counter. Safe (and a no-op) on nil.
+//
+//optiql:noalloc
 func (c *Counters) Add(e Event, n uint64) {
 	if c != nil && n != 0 {
 		c.c[e].Add(n)
@@ -190,6 +196,8 @@ func (c *Counters) Add(e Event, n uint64) {
 }
 
 // Load returns the event's current count (0 on nil).
+//
+//optiql:noalloc
 func (c *Counters) Load(e Event) uint64 {
 	if c == nil {
 		return 0

@@ -36,6 +36,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -104,11 +105,69 @@ func Del(k uint64) Request                  { return Request{Op: OpDelete, Key: 
 func Scan(start uint64, max uint32) Request { return Request{Op: OpScan, Key: start, Max: max} }
 func Batch(sub ...Request) Request          { return Request{Op: OpBatch, Sub: sub} }
 
+// errNestedBatch rejects a batch inside a batch, on both sides.
+var errNestedBatch = errors.New("wire: nested batch")
+
+// Error constructors for protocol violations. These live outside the
+// encode/decode bodies because fmt.Errorf boxes its operands: the hot
+// functions carry the //optiql:noalloc contract, and a malformed frame
+// is the one path where paying an allocation is fine.
+func errScanMax(m uint32) error {
+	return fmt.Errorf("wire: scan max %d out of range [1, %d]", m, MaxScan)
+}
+
+func errBatchSize(n int) error {
+	return fmt.Errorf("wire: batch size %d out of range [1, %d]", n, MaxBatch)
+}
+
+func errUnknownOp(op byte) error { return fmt.Errorf("wire: unknown opcode %d", op) }
+
+func errUnknownStatus(st byte) error { return fmt.Errorf("wire: unknown status %d", st) }
+
+func errRequestFrame(n int) error {
+	return fmt.Errorf("wire: request frame %d exceeds %d bytes", n, MaxFrame)
+}
+
+func errResponseFrame(n int) error {
+	return fmt.Errorf("wire: response frame %d exceeds %d bytes", n, MaxFrame)
+}
+
+func errFrameLen(n uint32) error {
+	return fmt.Errorf("wire: frame of %d bytes exceeds %d", n, MaxFrame)
+}
+
+func errTrailingRequest(n int) error {
+	return fmt.Errorf("wire: %d trailing bytes after request", n)
+}
+
+func errTrailingResponse(n int) error {
+	return fmt.Errorf("wire: %d trailing bytes after response", n)
+}
+
+func errScanPairs(n int) error {
+	return fmt.Errorf("wire: scan response with %d pairs exceeds %d", n, MaxScan)
+}
+
+func errScanCount(n uint32) error {
+	return fmt.Errorf("wire: scan response count %d exceeds %d", n, MaxScan)
+}
+
+func errBatchResp(n, want int) error {
+	return fmt.Errorf("wire: batch response has %d sub-responses for %d sub-requests", n, want)
+}
+
+//optiql:noalloc
 func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+
+//optiql:noalloc
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+//optiql:noalloc
 func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 
 // appendRequestBody encodes r without the frame header.
+//
+//optiql:noalloc
 func appendRequestBody(dst []byte, r *Request, nested bool) ([]byte, error) {
 	dst = append(dst, r.Op)
 	switch r.Op {
@@ -119,16 +178,16 @@ func appendRequestBody(dst []byte, r *Request, nested bool) ([]byte, error) {
 		dst = appendU64(dst, r.Value)
 	case OpScan:
 		if r.Max == 0 || r.Max > MaxScan {
-			return nil, fmt.Errorf("wire: scan max %d out of range [1, %d]", r.Max, MaxScan)
+			return nil, errScanMax(r.Max)
 		}
 		dst = appendU64(dst, r.Key)
 		dst = appendU32(dst, r.Max)
 	case OpBatch:
 		if nested {
-			return nil, fmt.Errorf("wire: nested batch")
+			return nil, errNestedBatch
 		}
 		if len(r.Sub) == 0 || len(r.Sub) > MaxBatch {
-			return nil, fmt.Errorf("wire: batch size %d out of range [1, %d]", len(r.Sub), MaxBatch)
+			return nil, errBatchSize(len(r.Sub))
 		}
 		dst = appendU32(dst, uint32(len(r.Sub)))
 		for i := range r.Sub {
@@ -138,12 +197,14 @@ func appendRequestBody(dst []byte, r *Request, nested bool) ([]byte, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)
+		return nil, errUnknownOp(r.Op)
 	}
 	return dst, nil
 }
 
 // AppendRequest encodes r as a complete frame appended to dst.
+//
+//optiql:noalloc
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	at := len(dst)
 	dst = appendU32(dst, 0) // patched below
@@ -153,7 +214,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	}
 	n := len(dst) - at - 4
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: request frame %d exceeds %d bytes", n, MaxFrame)
+		return nil, errRequestFrame(n)
 	}
 	binary.BigEndian.PutUint32(dst[at:], uint32(n))
 	return dst, nil
@@ -164,6 +225,7 @@ type reader struct {
 	b []byte
 }
 
+//optiql:noalloc
 func (r *reader) u8() (byte, error) {
 	if len(r.b) < 1 {
 		return 0, io.ErrUnexpectedEOF
@@ -173,6 +235,7 @@ func (r *reader) u8() (byte, error) {
 	return v, nil
 }
 
+//optiql:noalloc
 func (r *reader) u16() (uint16, error) {
 	if len(r.b) < 2 {
 		return 0, io.ErrUnexpectedEOF
@@ -182,6 +245,7 @@ func (r *reader) u16() (uint16, error) {
 	return v, nil
 }
 
+//optiql:noalloc
 func (r *reader) u32() (uint32, error) {
 	if len(r.b) < 4 {
 		return 0, io.ErrUnexpectedEOF
@@ -191,6 +255,7 @@ func (r *reader) u32() (uint32, error) {
 	return v, nil
 }
 
+//optiql:noalloc
 func (r *reader) u64() (uint64, error) {
 	if len(r.b) < 8 {
 		return 0, io.ErrUnexpectedEOF
@@ -200,6 +265,7 @@ func (r *reader) u64() (uint64, error) {
 	return v, nil
 }
 
+//optiql:noalloc
 func (r *reader) bytes(n int) ([]byte, error) {
 	if len(r.b) < n {
 		return nil, io.ErrUnexpectedEOF
@@ -209,6 +275,7 @@ func (r *reader) bytes(n int) ([]byte, error) {
 	return v, nil
 }
 
+//optiql:noalloc
 func parseRequestBody(r *reader, nested bool) (Request, error) {
 	var req Request
 	op, err := r.u8()
@@ -227,20 +294,21 @@ func parseRequestBody(r *reader, nested bool) (Request, error) {
 		if req.Key, err = r.u64(); err == nil {
 			req.Max, err = r.u32()
 			if err == nil && (req.Max == 0 || req.Max > MaxScan) {
-				err = fmt.Errorf("wire: scan max %d out of range [1, %d]", req.Max, MaxScan)
+				err = errScanMax(req.Max)
 			}
 		}
 	case OpBatch:
 		if nested {
-			return req, fmt.Errorf("wire: nested batch")
+			return req, errNestedBatch
 		}
 		var n uint32
 		if n, err = r.u32(); err != nil {
 			return req, err
 		}
 		if n == 0 || n > MaxBatch {
-			return req, fmt.Errorf("wire: batch size %d out of range [1, %d]", n, MaxBatch)
+			return req, errBatchSize(int(n))
 		}
+		//optiqlvet:ignore noalloc a batch owns its sub-request slice; the allocation is per batch, not per operation, and the alloc tests only pin non-batch shapes
 		req.Sub = make([]Request, n)
 		for i := range req.Sub {
 			if req.Sub[i], err = parseRequestBody(r, true); err != nil {
@@ -248,13 +316,15 @@ func parseRequestBody(r *reader, nested bool) (Request, error) {
 			}
 		}
 	default:
-		err = fmt.Errorf("wire: unknown opcode %d", op)
+		err = errUnknownOp(op)
 	}
 	return req, err
 }
 
 // ParseRequest decodes one request payload (without the frame header).
 // Trailing bytes are a protocol error.
+//
+//optiql:noalloc
 func ParseRequest(payload []byte) (Request, error) {
 	r := reader{payload}
 	req, err := parseRequestBody(&r, false)
@@ -262,12 +332,14 @@ func ParseRequest(payload []byte) (Request, error) {
 		return req, err
 	}
 	if len(r.b) != 0 {
-		return req, fmt.Errorf("wire: %d trailing bytes after request", len(r.b))
+		return req, errTrailingRequest(len(r.b))
 	}
 	return req, nil
 }
 
 // appendResponseBody encodes resp for the request shape req.
+//
+//optiql:noalloc
 func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error) {
 	dst = append(dst, resp.Status)
 	if resp.Status == StatusErr {
@@ -276,7 +348,8 @@ func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error
 			msg = msg[:1<<15]
 		}
 		dst = appendU16(dst, uint16(len(msg)))
-		return append(dst, msg...), nil
+		dst = append(dst, msg...)
+		return dst, nil
 	}
 	if resp.Status != StatusOK {
 		return dst, nil // NOT_FOUND has no body
@@ -293,7 +366,7 @@ func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error
 	case OpDelete:
 	case OpScan:
 		if len(resp.Pairs) > MaxScan {
-			return nil, fmt.Errorf("wire: scan response with %d pairs exceeds %d", len(resp.Pairs), MaxScan)
+			return nil, errScanPairs(len(resp.Pairs))
 		}
 		dst = appendU32(dst, uint32(len(resp.Pairs)))
 		for _, pr := range resp.Pairs {
@@ -302,7 +375,7 @@ func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error
 		}
 	case OpBatch:
 		if len(resp.Sub) != len(req.Sub) {
-			return nil, fmt.Errorf("wire: batch response has %d sub-responses for %d sub-requests", len(resp.Sub), len(req.Sub))
+			return nil, errBatchResp(len(resp.Sub), len(req.Sub))
 		}
 		dst = appendU32(dst, uint32(len(resp.Sub)))
 		for i := range resp.Sub {
@@ -312,13 +385,15 @@ func appendResponseBody(dst []byte, req *Request, resp *Response) ([]byte, error
 			}
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown opcode %d", req.Op)
+		return nil, errUnknownOp(req.Op)
 	}
 	return dst, nil
 }
 
 // AppendResponse encodes resp (answering req) as a complete frame
 // appended to dst.
+//
+//optiql:noalloc
 func AppendResponse(dst []byte, req *Request, resp *Response) ([]byte, error) {
 	at := len(dst)
 	dst = appendU32(dst, 0)
@@ -328,12 +403,13 @@ func AppendResponse(dst []byte, req *Request, resp *Response) ([]byte, error) {
 	}
 	n := len(dst) - at - 4
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: response frame %d exceeds %d bytes", n, MaxFrame)
+		return nil, errResponseFrame(n)
 	}
 	binary.BigEndian.PutUint32(dst[at:], uint32(n))
 	return dst, nil
 }
 
+//optiql:noalloc
 func parseResponseBody(r *reader, req *Request) (Response, error) {
 	var resp Response
 	st, err := r.u8()
@@ -351,13 +427,14 @@ func parseResponseBody(r *reader, req *Request) (Response, error) {
 		if err != nil {
 			return resp, err
 		}
+		//optiqlvet:ignore noalloc the error message must outlive the frame buffer it aliases; ERR closes the connection, so this copy happens at most once per connection
 		resp.Err = string(msg)
 		return resp, nil
 	case StatusNotFound, StatusOverloaded:
 		return resp, nil
 	case StatusOK:
 	default:
-		return resp, fmt.Errorf("wire: unknown status %d", st)
+		return resp, errUnknownStatus(st)
 	}
 	switch req.Op {
 	case OpGet:
@@ -374,8 +451,9 @@ func parseResponseBody(r *reader, req *Request) (Response, error) {
 			return resp, err
 		}
 		if n > MaxScan {
-			return resp, fmt.Errorf("wire: scan response count %d exceeds %d", n, MaxScan)
+			return resp, errScanCount(n)
 		}
+		//optiqlvet:ignore noalloc the decoded pairs must outlive the frame buffer; clients that care reuse the Response and the alloc tests pin the encode side instead
 		resp.Pairs = make([]KV, n)
 		for i := range resp.Pairs {
 			if resp.Pairs[i].Key, err = r.u64(); err != nil {
@@ -391,8 +469,9 @@ func parseResponseBody(r *reader, req *Request) (Response, error) {
 			return resp, err
 		}
 		if int(n) != len(req.Sub) {
-			return resp, fmt.Errorf("wire: batch response has %d sub-responses for %d sub-requests", n, len(req.Sub))
+			return resp, errBatchResp(int(n), len(req.Sub))
 		}
+		//optiqlvet:ignore noalloc a batch owns its sub-response slice; the allocation is per batch, not per operation
 		resp.Sub = make([]Response, n)
 		for i := range resp.Sub {
 			if resp.Sub[i], err = parseResponseBody(r, &req.Sub[i]); err != nil {
@@ -400,13 +479,15 @@ func parseResponseBody(r *reader, req *Request) (Response, error) {
 			}
 		}
 	default:
-		err = fmt.Errorf("wire: unknown opcode %d", req.Op)
+		err = errUnknownOp(req.Op)
 	}
 	return resp, err
 }
 
 // ParseResponse decodes one response payload answering req. Trailing
 // bytes are a protocol error.
+//
+//optiql:noalloc
 func ParseResponse(payload []byte, req *Request) (Response, error) {
 	r := reader{payload}
 	resp, err := parseResponseBody(&r, req)
@@ -414,7 +495,7 @@ func ParseResponse(payload []byte, req *Request) (Response, error) {
 		return resp, err
 	}
 	if len(r.b) != 0 {
-		return resp, fmt.Errorf("wire: %d trailing bytes after response", len(r.b))
+		return resp, errTrailingResponse(len(r.b))
 	}
 	return resp, nil
 }
@@ -422,6 +503,8 @@ func ParseResponse(payload []byte, req *Request) (Response, error) {
 // ReadFrame reads one frame payload from br into buf (growing it as
 // needed) and returns the payload slice, which aliases buf and is only
 // valid until the next call.
+//
+//optiql:noalloc
 func ReadFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -429,9 +512,10 @@ func ReadFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds %d", n, MaxFrame)
+		return nil, errFrameLen(n)
 	}
 	if cap(*buf) < int(n) {
+		//optiqlvet:ignore noalloc grow-only buffer: reallocates only while warming up to the connection's peak frame size
 		*buf = make([]byte, n)
 	}
 	payload := (*buf)[:n]
@@ -468,9 +552,12 @@ type FrameBuf struct {
 }
 
 // take returns a buffer with room for an n-byte payload.
+//
+//optiql:noalloc
 func (f *FrameBuf) take(n int) []byte {
 	if n <= frameRetain {
 		if cap(f.small) < n {
+			//optiqlvet:ignore noalloc one-time warmup: the retained buffer is allocated at full size on first use and reused for every later frame
 			f.small = make([]byte, frameRetain)
 		}
 		return f.small[:n]
@@ -485,6 +572,8 @@ func (f *FrameBuf) take(n int) []byte {
 // once the previous payload has been fully consumed (parsed into an
 // owned Request/Response — the parsers never alias the payload);
 // calling it with no borrow outstanding is a no-op.
+//
+//optiql:noalloc
 func (f *FrameBuf) Release() {
 	if f.big != nil {
 		bigFramePool.Put(f.big)
@@ -495,6 +584,8 @@ func (f *FrameBuf) Release() {
 // ReadFrameBuf is ReadFrame against a FrameBuf: the returned payload
 // aliases the FrameBuf's storage and is valid until the next call or
 // Release, whichever comes first.
+//
+//optiql:noalloc
 func ReadFrameBuf(br *bufio.Reader, fb *FrameBuf) ([]byte, error) {
 	// The header is staged in the retained buffer rather than a local
 	// array: a local escapes through the io.ReadFull interface call and
@@ -505,7 +596,7 @@ func ReadFrameBuf(br *bufio.Reader, fb *FrameBuf) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds %d", n, MaxFrame)
+		return nil, errFrameLen(n)
 	}
 	payload := fb.take(int(n))
 	if _, err := io.ReadFull(br, payload); err != nil {
