@@ -19,6 +19,7 @@ import (
 	"optiql/internal/core"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/workload"
 )
 
@@ -401,6 +402,62 @@ func BenchmarkObsOverhead(b *testing.B) {
 							t.Lookup(c, k)
 						} else {
 							t.Update(c, k, rng.Uint64())
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverhead is the acceptance A/B for the contention
+// profiler: a uniform read-heavy B+-tree workload (fixed per-op costs
+// are most visible here) run with tracing off, with production 1-in-
+// 1024 sampling, and with every operation sampled. The budget: the
+// off arm within 1% of BenchmarkObsOverhead's enabled arm, sampled-
+// 1024 within 3% (DESIGN.md §11 records the measured deltas). The
+// loop mirrors bench.MeasureIndex's per-op tracing exactly.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const records = 100_000
+	for _, scheme := range []string{"OptLock", "OptiQL"} {
+		for _, arm := range []string{"off", "sampled-1024", "sampled-1"} {
+			b.Run(fmt.Sprintf("%s/%s", scheme, arm), func(b *testing.B) {
+				t, pool := newLoadedBTree(b, scheme, 256, records)
+				reg := obs.NewRegistry()
+				var tracer *trace.Tracer
+				switch arm {
+				case "sampled-1024":
+					tracer = trace.New(trace.Config{SampleEvery: 1024})
+				case "sampled-1":
+					tracer = trace.New(trace.Config{SampleEvery: 1})
+				}
+				d := workload.NewUniform(records)
+				var seq atomic.Uint64
+				b.SetParallelism(parallelism)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					c := locks.NewCtx(pool, 8)
+					defer c.Close()
+					c.SetCounters(reg.NewCounters())
+					w := seq.Add(1)
+					tb := tracer.NewBuf(0, int(w)) // nil tracer -> nil buf, all no-ops
+					c.SetTrace(tb)
+					rng := workload.NewRNG(w)
+					for pb.Next() {
+						k := workload.Dense.Key(d.Next(rng))
+						ts := tb.Sample()
+						var t0 int64
+						if ts {
+							t0 = tb.Now()
+							tb.NoteKey(0, k)
+						}
+						if rng.Uint64n(100) < 80 {
+							t.Lookup(c, k)
+						} else {
+							t.Update(c, k, rng.Uint64())
+						}
+						if ts {
+							tb.Record(trace.KindTreeOp, 0, t0, tb.Now()-t0, 0, k)
 						}
 					}
 				})

@@ -24,6 +24,7 @@ import (
 	"optiql/internal/experiments"
 	"optiql/internal/faults"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/workload"
 )
 
@@ -45,8 +46,11 @@ func main() {
 		noexpand = flag.Bool("noexpand", false, "disable ART contention expansion (ablation)")
 
 		jsonPath = flag.String("json", "", "write a machine-readable run report to this path (\"-\" = stdout); custom runs only")
-		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		obsAddr  = flag.String("obs", "", "serve live /metrics, /debug/vars, /debug/pprof and /debug/contention on this address (e.g. :6060)")
 		latency  = flag.Bool("latency", false, "collect sampled per-operation latencies")
+
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON (load in Perfetto / chrome://tracing) to this path after the run; custom runs only")
+		traceSmp  = flag.Int("sample", 0, "trace sampling interval, 1-in-N ops (0 = default 1024 when tracing; also enables the report's contention sections without -trace)")
 
 		netAddr   = flag.String("net", "", "drive a running optiqld server at this address instead of an in-process index")
 		pipeline  = flag.Int("pipeline", 32, "per-connection pipelining window for -net runs")
@@ -90,6 +94,10 @@ func main() {
 	if *sparseK {
 		ks = workload.Sparse
 	}
+	var tracer *trace.Tracer
+	if *tracePath != "" || *traceSmp > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: *traceSmp})
+	}
 	if *netAddr != "" {
 		var chaosCfg *faults.Config
 		if *chaos != "" {
@@ -114,7 +122,9 @@ func main() {
 			Chaos:        chaosCfg,
 			Reconn:       *reconn,
 			MaxRetries:   *retries,
+			Trace:        tracer,
 		}, *jsonPath, *obsAddr, *mixName)
+		writeTrace(tracer, *tracePath)
 		return
 	}
 	cfg := bench.IndexConfig{
@@ -130,6 +140,7 @@ func main() {
 		Duration:            *duration,
 		Latency:             *latency,
 		ARTDisableExpansion: *noexpand,
+		Trace:               tracer,
 	}
 	if *obsAddr != "" {
 		src := &obs.LiveSource{}
@@ -144,6 +155,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	writeTrace(tracer, *tracePath)
 	if *jsonPath != "" {
 		if err := res.Report("indexbench").WriteFile(*jsonPath); err != nil {
 			fatal(err)
@@ -172,6 +184,52 @@ func main() {
 		fmt.Printf("  timeline: min %.3f / avg %.3f / stddev %.3f Mops over %d intervals\n",
 			min, avg, stddev, len(res.Timeline.Ops))
 	}
+	printContention(tracer)
+}
+
+// writeTrace exports the run's spans in Chrome trace_event format.
+func writeTrace(tr *trace.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+}
+
+// printContention summarizes the profiler's view of the run: lock-wait
+// percentiles and the hottest keys.
+func printContention(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	snap := tr.Snapshot()
+	if snap.Wait.Count() > 0 {
+		fmt.Printf("  lock wait (1-in-%d sampled): p50 %v / p99 %v / max %v over %d acquires\n",
+			snap.SampleEvery,
+			time.Duration(snap.Wait.Percentile(50)), time.Duration(snap.Wait.Percentile(99)),
+			time.Duration(snap.Wait.Max()), snap.Wait.Count())
+	}
+	if len(snap.Keys) > 0 {
+		n := len(snap.Keys)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Printf("  hot keys:")
+		for _, it := range snap.Keys[:n] {
+			fmt.Printf(" %#x(%d)", it.Key, it.Count)
+		}
+		fmt.Println()
+	}
 }
 
 // runNet drives a remote optiqld server with the configured workload
@@ -180,6 +238,9 @@ func runNet(cfg bench.NetConfig, jsonPath, obsAddr, mixName string) {
 	if obsAddr != "" {
 		src := &obs.LiveSource{}
 		cfg.Live = src
+		if tr := cfg.Trace; tr != nil {
+			src.SetContention(func() *obs.ContentionReport { return obs.ContentionFrom(tr, nil) })
+		}
 		_, bound, err := obs.Serve(obsAddr, src)
 		if err != nil {
 			fatal(err)

@@ -1,7 +1,17 @@
-// Command latency runs the Figure 12 tail-latency study: operation
-// latency percentiles (min to 99.999%) for the B+-tree and ART under
-// the skewed distribution, comparing OptLock, OptiQL-NOR and OptiQL at
-// two thread counts.
+// Command latency measures operation latency distributions. By
+// default it runs one configuration and emits the same machine-
+// readable obs.Report JSON as `indexbench -json` — identical schema,
+// identical internal/hist percentile math — so tail-latency plots can
+// mix data points from either tool:
+//
+//	latency -index btree -scheme OptiQL -threads 8 -json -
+//	latency -index art -mix update-only -dist zipf -skew 0.99 -trace out.json
+//
+// With -fig12 it instead prints the paper's Figure 12 matrix
+// (percentile tables for both indexes, three mixes, three schemes at
+// two thread counts):
+//
+//	latency -fig12 -maxthreads 8 -duration 1s
 package main
 
 import (
@@ -10,26 +20,107 @@ import (
 	"os"
 	"time"
 
+	"optiql/internal/bench"
 	"optiql/internal/experiments"
+	"optiql/internal/hist"
+	"optiql/internal/obs/trace"
+	"optiql/internal/workload"
 )
 
 func main() {
 	var (
-		maxThreads = flag.Int("maxthreads", 8, "higher thread count; the lower one is half (paper: 40 and 20)")
-		duration   = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
-		records    = flag.Int("records", 200_000, "records preloaded (paper: 100000000)")
+		fig12      = flag.Bool("fig12", false, "print the Figure 12 percentile matrix instead of a single run")
+		maxThreads = flag.Int("maxthreads", 8, "-fig12: higher thread count; the lower one is half (paper: 40 and 20)")
+
+		index    = flag.String("index", "btree", "btree|art")
+		scheme   = flag.String("scheme", "OptiQL", "lock scheme (locks.ByName)")
+		threads  = flag.Int("threads", 8, "worker goroutines")
+		duration = flag.Duration("duration", 500*time.Millisecond, "measured duration per run")
+		records  = flag.Int("records", 200_000, "records preloaded (paper: 100000000)")
+		mixName  = flag.String("mix", "balanced", "read-only|read-heavy|balanced|write-heavy|update-only")
+		dist     = flag.String("dist", "selfsimilar", "uniform|selfsimilar|zipf")
+		skew     = flag.Float64("skew", 0.2, "self-similar skew factor / zipf theta")
+		sparseK  = flag.Bool("sparse", false, "use sparse integer keys")
+
+		jsonPath  = flag.String("json", "-", "write the obs.Report JSON to this path (\"-\" = stdout)")
+		tracePath = flag.String("trace", "", "also record contention spans and write a Chrome trace_event JSON here")
+		traceSmp  = flag.Int("sample", 0, "trace sampling interval, 1-in-N ops (0 = default 1024 when tracing)")
 	)
 	flag.Parse()
 
-	err := experiments.Fig12(experiments.Options{
-		Threads:    []int{*maxThreads},
-		MaxThreads: *maxThreads,
-		Duration:   *duration,
-		Runs:       1,
-		Records:    *records,
+	if *fig12 {
+		err := experiments.Fig12(experiments.Options{
+			Threads:    []int{*maxThreads},
+			MaxThreads: *maxThreads,
+			Duration:   *duration,
+			Runs:       1,
+			Records:    *records,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	ks := workload.Dense
+	if *sparseK {
+		ks = workload.Sparse
+	}
+	var tracer *trace.Tracer
+	if *tracePath != "" || *traceSmp > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: *traceSmp})
+	}
+	res, err := bench.RunIndex(bench.IndexConfig{
+		Index:        *index,
+		Scheme:       *scheme,
+		Threads:      *threads,
+		Records:      *records,
+		Distribution: *dist,
+		Skew:         *skew,
+		KeySpace:     ks,
+		Mix:          mix,
+		Duration:     *duration,
+		Latency:      true,
+		Trace:        tracer,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "latency:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if tracer != nil && *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		if err := res.Report("latency").WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		if *jsonPath == "-" {
+			return
+		}
+	}
+	// Human-readable percentile line for quick terminal use.
+	snap := res.Hist.Snapshot()
+	fmt.Printf("latency (%s/%s, %d threads, %s):", *index, *scheme, *threads, *mixName)
+	for i, l := range hist.PercentileLabels {
+		fmt.Printf(" %s=%v", l, time.Duration(snap[i]))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "latency:", err)
+	os.Exit(1)
 }

@@ -27,6 +27,7 @@ import (
 
 	"optiql/internal/faults"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/server"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 0, "per-response write deadline; non-reading peers are dropped (0 disables)")
 		inflight = flag.Int("inflight", 0, "per-shard write admission budget; overflow is shed with OVERLOADED (0 = block instead)")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. 'reset=0.01,latency=0.05:100us-1ms,corrupt=0.001,seed=7' (see internal/faults)")
+		trc      = flag.String("trace", "", "write a Chrome trace_event JSON (load in Perfetto / chrome://tracing) to this path at shutdown")
+		sample   = flag.Int("sample", 0, "trace sampling interval, 1-in-N requests (0 = default 1024 when -trace is set; also enables /debug/contention without -trace)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,10 @@ func main() {
 			fatal(err)
 		}
 		chaosCfg = &cfg
+	}
+	var traceCfg *trace.Config
+	if *trc != "" || *sample > 0 {
+		traceCfg = &trace.Config{SampleEvery: *sample}
 	}
 	srv, err := server.New(server.Config{
 		Addr:         *addr,
@@ -66,6 +73,7 @@ func main() {
 		WriteTimeout: *writeTO,
 		InflightMax:  *inflight,
 		Chaos:        chaosCfg,
+		Trace:        traceCfg,
 	})
 	if err != nil {
 		fatal(err)
@@ -105,6 +113,22 @@ func main() {
 		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "optiqld: shutdown timed out:", err)
+		}
+	}
+	if *trc != "" {
+		if tr := srv.Tracer(); tr != nil {
+			f, err := os.Create(*trc)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("optiqld: trace written to %s (load in Perfetto or chrome://tracing)\n", *trc)
 		}
 	}
 	st := srv.Stats()

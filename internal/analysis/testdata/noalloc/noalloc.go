@@ -36,6 +36,53 @@ func goodHot(buf []KV, k, v uint64, p *KV) []KV {
 	return buf
 }
 
+// goodRingRecord is the trace ring-buffer store idiom
+// (internal/obs/trace): a wrapping-cursor element assignment into a
+// preallocated ring plus an unsynchronized sampling counter — struct
+// stores and index arithmetic only, nothing the analyzer may flag.
+//
+//optiql:noalloc
+func goodRingRecord(ring []KV, pos *uint64, k, v uint64) {
+	ring[*pos&uint64(len(ring)-1)] = KV{K: k, V: v}
+	*pos++
+}
+
+// goodSketchOffer is the space-saving sketch idiom: linear scan over a
+// fixed-capacity slice, in-place count increments, appends only via
+// the reassignment idiom (in-cap by construction), and eviction by
+// overwriting the minimum slot — never growing the backing array.
+//
+//optiql:noalloc
+func goodSketchOffer(items []KV, k uint64) []KV {
+	minAt := 0
+	for i := range items {
+		if items[i].K == k {
+			items[i].V++
+			return items
+		}
+		if items[i].V < items[minAt].V {
+			minAt = i
+		}
+	}
+	if len(items) < cap(items) {
+		items = append(items, KV{K: k, V: 1}) // in-cap: no growth
+		return items
+	}
+	items[minAt] = KV{K: k, V: items[minAt].V + 1} // space-saving eviction
+	return items
+}
+
+// badRingAlloc is the mistake the ring idiom exists to prevent:
+// allocating the ring inside the hot function instead of carrying a
+// preallocated one.
+//
+//optiql:noalloc
+func badRingAlloc(k, v uint64) KV {
+	ring := make([]KV, 16) // want "make in noalloc function badRingAlloc"
+	ring[int(k)&15] = KV{K: k, V: v}
+	return ring[int(k)&15]
+}
+
 //optiql:noalloc
 func badMake(n int) int {
 	s := make([]int, n) // want "make in noalloc function badMake"

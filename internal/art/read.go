@@ -17,6 +17,7 @@ func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root
 	level := 0

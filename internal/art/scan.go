@@ -74,6 +74,7 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 			return out
 		}
 		c.Counters().Inc(obs.EvOpRestart)
+		c.TraceRestart(resume)
 		if len(out) > base {
 			last := out[len(out)-1].Key
 			if last == ^uint64(0) {

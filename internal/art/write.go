@@ -24,6 +24,7 @@ func (t *Tree) Update(c *locks.Ctx, k, v uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root
 	level := 0
@@ -224,6 +225,7 @@ func (t *Tree) insertOptimistic(c *locks.Ctx, k, v uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	var (
 		pn   *node
@@ -470,6 +472,7 @@ func (t *Tree) Delete(c *locks.Ctx, k uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	var (
 		pn   *node

@@ -13,6 +13,7 @@ import (
 	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/workload"
 )
 
@@ -90,6 +91,11 @@ type IndexConfig struct {
 	// Live, when set, is pointed at this run's counters and operation
 	// total so an HTTP endpoint can serve them while the run is hot.
 	Live *obs.LiveSource `json:"-"`
+	// Trace, when set, samples lock-wait and tree-op spans into the
+	// contention profiler (internal/obs/trace); the report then carries
+	// lock-wait percentiles and hot-key rankings, and Live serves them
+	// at /debug/contention.
+	Trace *trace.Tracer `json:"-"`
 }
 
 func (c *IndexConfig) normalize() error {
@@ -271,6 +277,12 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 	smp := newSampler(cfg.Threads, cfg.SampleEvery)
 	if cfg.Live != nil {
 		cfg.Live.Set(reg.Snapshot, smp.total)
+		if cfg.Trace != nil {
+			tr := cfg.Trace
+			cfg.Live.SetContention(func() *obs.ContentionReport {
+				return obs.ContentionFrom(tr, nil)
+			})
+		}
 	}
 
 	var (
@@ -290,6 +302,8 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 			c := locks.NewCtx(pool, 8)
 			defer c.Close()
 			c.SetCounters(reg.NewCounters())
+			tb := cfg.Trace.NewBuf(0, w)
+			c.SetTrace(tb)
 			rng := workload.NewRNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
 			insertSeq := uint64(cfg.Records) + uint64(w)<<40
 			scanBuf := make([]kv.KV, 0, cfg.ScanLen)
@@ -305,6 +319,16 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 				if sample {
 					t0 = time.Now()
 				}
+				// Trace sampling is independent of the latency sampler:
+				// it uses the buffer's own 1-in-N counter so the hot
+				// path pays only an increment-and-mask when tracing is
+				// on and nothing when tb is nil.
+				ts := tb.Sample()
+				var tt0 int64
+				if ts {
+					tt0 = tb.Now()
+					tb.NoteKey(0, k)
+				}
 				hit := true
 				switch op {
 				case workload.OpLookup:
@@ -318,6 +342,9 @@ func MeasureIndex(cfg IndexConfig, idx Index, pool *core.Pool) (IndexResult, err
 					hit = idx.Delete(c, k)
 				case workload.OpScan:
 					hit = idx.Scan(c, k, cfg.ScanLen, scanBuf) > 0
+				}
+				if ts {
+					tb.Record(trace.KindTreeOp, uint8(op), tt0, tb.Now()-tt0, 0, k)
 				}
 				if sample {
 					res.h.Record(uint64(time.Since(t0)))

@@ -9,6 +9,7 @@ import (
 	"optiql/internal/faults"
 	"optiql/internal/hist"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/server/wire"
 	"optiql/internal/workload"
 )
@@ -70,6 +71,10 @@ type NetConfig struct {
 	// MaxRetries is the per-request retry budget in resilient mode
 	// (ReconnClient's default when zero).
 	MaxRetries int
+	// Trace, when set in resilient mode, attributes client-side stalls:
+	// ReconnClient backoffs/re-dials and injector faults become trace
+	// spans so chaos-run tail latency decomposes by cause.
+	Trace *trace.Tracer `json:"-"`
 }
 
 // resilient reports whether workers use self-healing synchronous
@@ -175,7 +180,7 @@ func (r NetResult) Report(tool string) *obs.Report {
 		Mops:           r.Mops(),
 		Counters:       r.Counters,
 		Timeline:       r.Timeline.Report(),
-		Latency:        latencyReport(r.Hist),
+		Latency:        obs.LatencyReportFrom(r.Hist),
 		Extra: map[string]any{
 			"per_op":      r.PerOp,
 			"per_op_miss": r.PerOpMiss,
@@ -186,6 +191,7 @@ func (r NetResult) Report(tool string) *obs.Report {
 		rep.Extra["overloaded"] = r.Overloaded
 		rep.Extra["reconn"] = r.Reconn
 	}
+	rep.AttachContention(obs.ContentionFrom(r.Config.Trace, nil))
 	return rep
 }
 
@@ -336,6 +342,12 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 			if chaos.Counters == nil {
 				chaos.Counters = reg.NewCounters()
 			}
+			if chaos.Trace == nil {
+				// One shared buffer: injector spans are recorded
+				// unconditionally (Record is mutex-safe; Sample is not
+				// called on a shared Buf).
+				chaos.Trace = cfg.Trace.NewBuf(-1, -1)
+			}
 			inj = faults.NewInjector(chaos)
 		}
 	}
@@ -400,6 +412,7 @@ func RunNet(cfg NetConfig) (NetResult, error) {
 					Addr:       cfg.Addr,
 					MaxRetries: cfg.MaxRetries,
 					Counters:   reg.NewCounters(),
+					Trace:      cfg.Trace.NewBuf(-1, w),
 				}
 				if inj != nil {
 					rc.DialFunc = inj.Dial

@@ -3,33 +3,8 @@ package bench
 import (
 	"time"
 
-	"optiql/internal/hist"
 	"optiql/internal/obs"
 )
-
-// latencyReport converts a merged histogram for a JSON run report.
-func latencyReport(h *hist.Histogram) *obs.LatencyReport {
-	if h == nil || h.Count() == 0 {
-		return nil
-	}
-	pcts := make(map[string]uint64, len(hist.StandardPercentiles))
-	snap := h.Snapshot()
-	for i, label := range hist.PercentileLabels {
-		pcts[label] = snap[i]
-	}
-	var buckets []obs.BucketReport
-	for _, b := range h.Buckets() {
-		buckets = append(buckets, obs.BucketReport{UpperNs: b.Upper, Count: b.Count})
-	}
-	return &obs.LatencyReport{
-		Count:       h.Count(),
-		MinNs:       h.Min(),
-		MaxNs:       h.Max(),
-		MeanNs:      h.Mean(),
-		Percentiles: pcts,
-		Buckets:     buckets,
-	}
-}
 
 // Report converts an index run into the machine-readable run report
 // emitted by the cmd front-ends' -json flag.
@@ -43,7 +18,7 @@ func (r IndexResult) Report(tool string) *obs.Report {
 		Ops:            r.Ops,
 		Mops:           r.Mops(),
 		Timeline:       r.Timeline.Report(),
-		Latency:        latencyReport(r.Hist),
+		Latency:        obs.LatencyReportFrom(r.Hist),
 		Extra: map[string]any{
 			"per_op":      r.PerOp,
 			"per_op_miss": r.PerOpMiss,
@@ -53,6 +28,7 @@ func (r IndexResult) Report(tool string) *obs.Report {
 	if r.Obs != nil {
 		rep.Counters = r.Obs.Map()
 	}
+	rep.AttachContention(obs.ContentionFrom(r.Config.Trace, nil))
 	return rep
 }
 

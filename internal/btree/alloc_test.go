@@ -6,6 +6,7 @@ import (
 	"optiql/internal/core"
 	"optiql/internal/indextest"
 	"optiql/internal/locks"
+	"optiql/internal/obs/trace"
 )
 
 // TestLookupAllocs pins the point-read alloc budget at zero: the flat
@@ -36,6 +37,59 @@ func TestLookupAllocs(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Errorf("Lookup allocates %.1f objects per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTracedLookupAllocs pins the traced point-read budget at zero:
+// with a tracer attached and every operation sampled (SampleEvery 1 —
+// the worst case; production uses 1-in-1024), the Lookup path plus its
+// span recording, hot-key offers and lock-wait histogram updates must
+// still never touch the heap. This is the contention profiler's core
+// promise: observation without allocation.
+func TestTracedLookupAllocs(t *testing.T) {
+	for _, scheme := range []string{"OptiQL", "OptLock", "MCS-RW"} {
+		t.Run(scheme, func(t *testing.T) {
+			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
+			tr, err := New(Config{Scheme: locks.MustByName(scheme)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := core.NewPool(16)
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			tracer := trace.New(trace.Config{SampleEvery: 1, BufCap: 1024})
+			tb := tracer.NewBuf(0, 0)
+			c.SetTrace(tb)
+			for k := uint64(0); k < 10000; k++ {
+				tr.Insert(c, k, k*3)
+			}
+			k := uint64(0)
+			allocs := testing.AllocsPerRun(1000, func() {
+				// The caller-side sampling mirrors bench.MeasureIndex: a
+				// draw, a clock read, a hot-key offer and a tree-op span
+				// around the lookup — all on the zero-alloc hot path.
+				sampled := tb.Sample()
+				var t0 int64
+				if sampled {
+					t0 = tb.Now()
+					tb.NoteKey(0, k)
+				}
+				v, ok := tr.Lookup(c, k)
+				if !ok || v != k*3 {
+					t.Fatalf("Lookup(%d) = (%d, %v)", k, v, ok)
+				}
+				if sampled {
+					tb.Record(trace.KindTreeOp, 0, t0, tb.Now()-t0, 0, k)
+				}
+				k = (k + 7919) % 10000
+			})
+			if allocs != 0 {
+				t.Errorf("traced Lookup allocates %.1f objects per op, want 0", allocs)
+			}
+			if snap := tracer.Snapshot(); snap.Recorded == 0 {
+				t.Fatal("tracer recorded nothing — the test exercised a dead path")
 			}
 		})
 	}

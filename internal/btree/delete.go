@@ -27,6 +27,7 @@ func (t *Tree) deletePessimistic(c *locks.Ctx, k uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	tok := n.lock.AcquireEx(c)

@@ -21,6 +21,7 @@ func (t *Tree) Lookup(c *locks.Ctx, k uint64) (uint64, bool) {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	tok, ok := n.lock.AcquireSh(c)
@@ -88,6 +89,7 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(resume)
 first:
 	if len(out) >= limit {
 		return out

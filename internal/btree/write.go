@@ -17,6 +17,7 @@ func (t *Tree) Update(c *locks.Ctx, k, v uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	if n.leaf {
@@ -89,6 +90,7 @@ func (t *Tree) Insert(c *locks.Ctx, k, v uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	if n.leaf {
@@ -185,6 +187,7 @@ func (t *Tree) insertPessimistic(c *locks.Ctx, k, v uint64) {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	tok := n.lock.AcquireEx(c)
@@ -339,6 +342,7 @@ func (t *Tree) Delete(c *locks.Ctx, k uint64) bool {
 	goto first
 retry:
 	c.Counters().Inc(obs.EvOpRestart)
+	c.TraceRestart(k)
 first:
 	n := t.root.Load()
 	if n.leaf {

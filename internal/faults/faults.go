@@ -32,6 +32,19 @@ import (
 	"time"
 
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
+)
+
+// Fault codes carried in trace.Span.Flags for KindFault spans, so a
+// Chrome trace can tell which fault produced a given delay.
+const (
+	TraceLatency uint8 = iota + 1
+	TraceStall
+	TraceShortWrite
+	TraceFragment
+	TraceReset
+	TraceCorrupt
+	TraceAcceptFail
 )
 
 // Config holds the per-fault probabilities (each in [0, 1], applied
@@ -70,6 +83,14 @@ type Config struct {
 	// registry (EvFault*), so chaos runs surface in -json reports and
 	// /metrics next to the lock events.
 	Counters *obs.Counters
+	// Trace, when set, records every injection as a KindFault span
+	// (Flags = Trace* code; Dur = the injected delay for latency and
+	// stall faults), attributing chaos-induced latency in the trace
+	// timeline. Injections are rare, so spans are recorded
+	// unconditionally rather than sampled; the buffer is shared across
+	// all wrapped connections, which Record's mutex makes safe (Sample
+	// is never called on it).
+	Trace *trace.Buf `json:"-"`
 }
 
 // Any reports whether the configuration can inject at least one fault.
@@ -140,6 +161,20 @@ func (in *Injector) Stats() Stats {
 func (in *Injector) count(c *atomic.Uint64, e obs.Event) {
 	c.Add(1)
 	in.cfg.Counters.Inc(e)
+}
+
+// span records one injected fault in the trace timeline (no-op when
+// tracing is off).
+func (in *Injector) span(code uint8, start, dur int64) {
+	in.cfg.Trace.Record(trace.KindFault, code, start, dur, 0, 0)
+}
+
+// pointSpan records a zero-duration fault event at the current clock.
+func (in *Injector) pointSpan(code uint8) {
+	if in.cfg.Trace == nil {
+		return
+	}
+	in.span(code, in.cfg.Trace.Now(), 0)
 }
 
 // rng is one deterministic splitmix64 decision stream.
@@ -259,19 +294,25 @@ func (c *Conn) Read(b []byte) (int, error) {
 	r := &c.rrng
 	if r.hit(in.cfg.StallProb) {
 		in.count(&in.stall, obs.EvFaultStall)
+		t0 := in.cfg.Trace.Now()
 		time.Sleep(in.cfg.StallDur)
+		in.span(TraceStall, t0, in.cfg.Trace.Now()-t0)
 	}
 	if r.hit(in.cfg.LatencyProb) {
 		in.count(&in.latency, obs.EvFaultLatency)
+		t0 := in.cfg.Trace.Now()
 		time.Sleep(r.dur(in.cfg.LatencyMin, in.cfg.LatencyMax))
+		in.span(TraceLatency, t0, in.cfg.Trace.Now()-t0)
 	}
 	if r.hit(in.cfg.ResetProb) {
 		in.count(&in.reset, obs.EvFaultReset)
+		in.pointSpan(TraceReset)
 		return 0, c.abort()
 	}
 	n, err := c.Conn.Read(b)
 	if n > 0 && r.hit(in.cfg.CorruptReadProb) {
 		in.count(&in.corrupt, obs.EvFaultCorrupt)
+		in.pointSpan(TraceCorrupt)
 		flipBit(b[:n], r)
 	}
 	return n, err
@@ -285,14 +326,18 @@ func (c *Conn) Write(b []byte) (int, error) {
 	r := &c.rng
 	if r.hit(in.cfg.LatencyProb) {
 		in.count(&in.latency, obs.EvFaultLatency)
+		t0 := in.cfg.Trace.Now()
 		time.Sleep(r.dur(in.cfg.LatencyMin, in.cfg.LatencyMax))
+		in.span(TraceLatency, t0, in.cfg.Trace.Now()-t0)
 	}
 	if r.hit(in.cfg.ResetProb) {
 		in.count(&in.reset, obs.EvFaultReset)
+		in.pointSpan(TraceReset)
 		return 0, c.abort()
 	}
 	if len(b) > 0 && r.hit(in.cfg.CorruptWriteProb) {
 		in.count(&in.corrupt, obs.EvFaultCorrupt)
+		in.pointSpan(TraceCorrupt)
 		// Corrupt a copy: the caller's buffer (e.g. bufio's) must not be
 		// mutated behind its back.
 		cp := make([]byte, len(b))
@@ -302,6 +347,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	}
 	if len(b) > 1 && r.hit(in.cfg.ShortWriteProb) {
 		in.count(&in.shortWrite, obs.EvFaultShortWrite)
+		in.pointSpan(TraceShortWrite)
 		n, err := c.Conn.Write(b[:1+int(r.next()%uint64(len(b)-1))])
 		if err != nil {
 			return n, err
@@ -313,6 +359,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	}
 	if len(b) > 1 && r.hit(in.cfg.FragmentProb) {
 		in.count(&in.fragment, obs.EvFaultFragment)
+		in.pointSpan(TraceFragment)
 		return c.writeFragmented(b, r)
 	}
 	return c.Conn.Write(b)
@@ -366,6 +413,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 		l.mu.Unlock()
 		if fail {
 			l.in.count(&l.in.acceptFail, obs.EvFaultAcceptFail)
+			l.in.pointSpan(TraceAcceptFail)
 			nc.Close()
 			return nil, &errInjected{kind: "accept failure", temp: true}
 		}

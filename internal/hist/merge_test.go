@@ -1,0 +1,112 @@
+package hist
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestMergeConcurrentWorkers exercises the repo's per-worker histogram
+// discipline at full tilt: workers record into private histograms and
+// concurrently merge them into one shared result under a mutex (a
+// Histogram is not itself concurrency-safe — the mutex is the
+// contract, exactly how trace.Buf guards its wait histogram against
+// live snapshot merges). The merged result must be bucket-for-bucket
+// identical to recording every value serially.
+func TestMergeConcurrentWorkers(t *testing.T) {
+	const workers = 8
+	const perWorker = 20000
+
+	// Reference: all values through one histogram, serially.
+	var ref Histogram
+	values := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		values[w] = make([]uint64, perWorker)
+		for i := range values[w] {
+			v := uint64(rng.Int63n(1 << 32))
+			values[w][i] = v
+			ref.Record(v)
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		merged Histogram
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var h Histogram
+			for _, v := range values[w] {
+				h.Record(v)
+			}
+			// Concurrent merges into the shared histogram: the mutex is
+			// what makes this safe, as in every per-worker call site.
+			mu.Lock()
+			merged.Merge(&h)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if merged.Count() != ref.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), ref.Count())
+	}
+	if merged.Min() != ref.Min() || merged.Max() != ref.Max() {
+		t.Fatalf("merged min/max = %d/%d, want %d/%d",
+			merged.Min(), merged.Max(), ref.Min(), ref.Max())
+	}
+	if !reflect.DeepEqual(merged.Buckets(), ref.Buckets()) {
+		t.Fatal("merged buckets differ from serial reference")
+	}
+	for _, p := range StandardPercentiles {
+		if got, want := merged.Percentile(p), ref.Percentile(p); got != want {
+			t.Fatalf("P%v = %d after merge, want %d", p, got, want)
+		}
+	}
+}
+
+// Property: merging any partition of a value stream is equivalent to
+// recording it whole, and the result's percentiles are monotone in p.
+// Partition shape and values are both randomized by quick.Check.
+func TestMergePartitionEquivalence(t *testing.T) {
+	f := func(raw []uint32, cut uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(cut)%len(raw) + 1 // split point in [1, len]
+		var whole, left, right Histogram
+		for i, v := range raw {
+			whole.Record(uint64(v))
+			if i < k {
+				left.Record(uint64(v))
+			} else {
+				right.Record(uint64(v))
+			}
+		}
+		left.Merge(&right)
+		if left.Count() != whole.Count() ||
+			left.Min() != whole.Min() || left.Max() != whole.Max() ||
+			!reflect.DeepEqual(left.Buckets(), whole.Buckets()) {
+			return false
+		}
+		prev := uint64(0)
+		for p := 0.5; p <= 100; p += 0.5 {
+			v := left.Percentile(p)
+			if v < prev || v != whole.Percentile(p) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

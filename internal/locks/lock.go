@@ -14,9 +14,11 @@ package locks
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"optiql/internal/core"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 // ctxSeq seeds each Ctx's private RNG distinctly.
@@ -91,6 +93,10 @@ type Ctx struct {
 	// index substrates bump it — never internal/core, whose 8-byte word
 	// operations stay instrumentation-free by design.
 	obs *obs.Counters
+	// tr is this worker's sampled trace buffer; nil disables tracing
+	// (trace.Buf methods are nil-safe no-ops). Same layering rule as
+	// obs: lock adapters and substrates record, internal/core never.
+	tr *trace.Buf
 }
 
 // SetCounters attaches the worker's event counter set (nil disables
@@ -101,6 +107,36 @@ func (c *Ctx) SetCounters(ctr *obs.Counters) { c.obs = ctr }
 // obs.Counters methods treat as a disabled no-op set, so callers can
 // bump events unconditionally: c.Counters().Inc(obs.EvOpRestart).
 func (c *Ctx) Counters() *obs.Counters { return c.obs }
+
+// SetTrace attaches the worker's sampled trace buffer (nil disables
+// tracing). Call it right after NewCtx, before the Ctx is used.
+func (c *Ctx) SetTrace(b *trace.Buf) { c.tr = b }
+
+// Trace returns the attached trace buffer; it may be nil, which all
+// trace.Buf methods treat as a disabled no-op buffer.
+func (c *Ctx) Trace() *trace.Buf { return c.tr }
+
+// TraceRestart records a sampled operation-restart event for the key
+// an index operation is retrying, feeding both the span ring and the
+// hot-key sketch — restart chains on one key are the clearest hot-spot
+// signal the contention engine has.
+//
+//optiql:noalloc
+func (c *Ctx) TraceRestart(key uint64) {
+	tb := c.tr
+	if !tb.Sample() {
+		return
+	}
+	tb.Event(trace.KindOpRestart, 0, key)
+	tb.NoteKey(-1, key)
+}
+
+// lockID derives a stable identity for a lock from its address, used
+// as the hot-node key in trace sketches. Only the integer value is
+// recorded; the pointer itself never escapes the lock layer.
+//
+//optiql:noalloc
+func lockID(p unsafe.Pointer) uint64 { return uint64(uintptr(p)) }
 
 // Rand returns the next value of a per-thread xorshift64* generator,
 // used for cheap probabilistic decisions on lock-protected paths (such

@@ -2,9 +2,11 @@ package locks
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"optiql/internal/core"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 const (
@@ -110,7 +112,14 @@ func (l *MCSRW) ReleaseSh(c *Ctx, t Token) bool {
 func (l *MCSRW) AcquireEx(c *Ctx) Token {
 	n := c.getRW()
 	n.reset(classWriter)
+	tb := c.tr
+	sampled := tb.Sample()
+	var t0 int64
+	if sampled {
+		t0 = tb.Now()
+	}
 	prev := l.tail.Swap(n)
+	handover := prev != nil
 	if prev == nil {
 		n.granted.Store(1)
 		c.Counters().Inc(obs.EvExFree)
@@ -121,6 +130,13 @@ func (l *MCSRW) AcquireEx(c *Ctx) Token {
 			s.Spin()
 		}
 		c.Counters().Inc(obs.EvExHandover)
+	}
+	if sampled {
+		var fl uint8
+		if handover {
+			fl = trace.FlagHandover
+		}
+		tb.LockWait(t0, tb.Now()-t0, fl, lockID(unsafe.Pointer(l)))
 	}
 	return Token{rw: n}
 }

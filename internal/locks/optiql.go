@@ -1,8 +1,11 @@
 package locks
 
 import (
+	"unsafe"
+
 	"optiql/internal/core"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 // orMode selects how an OptiQLLock drives the opportunistic read
@@ -56,6 +59,9 @@ func (l *OptiQLLock) AcquireSh(c *Ctx) (Token, bool) {
 		// Admitted through an open opportunistic read window — a read
 		// only the OR/AOR protocol admits while a writer holds the lock.
 		c.Counters().Inc(obs.EvShOpportunistic)
+		if tb := c.tr; tb.Sample() {
+			tb.Event(trace.KindLockOpportunistic, 0, lockID(unsafe.Pointer(l)))
+		}
 	}
 	return Token{Version: v}, ok
 }
@@ -67,6 +73,11 @@ func (l *OptiQLLock) ReleaseSh(c *Ctx, t Token) bool {
 	ok := l.l.ReleaseSh(t.Version)
 	if !ok {
 		c.Counters().Inc(obs.EvShValidateFail)
+		if tb := c.tr; tb.Sample() {
+			id := lockID(unsafe.Pointer(l))
+			tb.Event(trace.KindLockReadFail, 0, id)
+			tb.NoteNode(id)
+		}
 	}
 	return ok
 }
@@ -77,6 +88,15 @@ func (l *OptiQLLock) ReleaseSh(c *Ctx, t Token) bool {
 //optiql:noalloc
 func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
 	q := c.getQ()
+	// The sampling decision and clock read happen outside the lock's
+	// word operations: a sampled acquire reads the clock twice; an
+	// unsampled one pays one counter increment.
+	tb := c.tr
+	sampled := tb.Sample()
+	var t0 int64
+	if sampled {
+		t0 = tb.Now()
+	}
 	var handover bool
 	if l.mode == orAdjustable {
 		handover = l.l.AcquireExAOR(q)
@@ -87,6 +107,13 @@ func (l *OptiQLLock) AcquireEx(c *Ctx) Token {
 		c.Counters().Inc(obs.EvExHandover)
 	} else {
 		c.Counters().Inc(obs.EvExFree)
+	}
+	if sampled {
+		var fl uint8
+		if handover {
+			fl = trace.FlagHandover
+		}
+		tb.LockWait(t0, tb.Now()-t0, fl, lockID(unsafe.Pointer(l)))
 	}
 	return Token{q: q}
 }
@@ -120,6 +147,11 @@ func (l *OptiQLLock) Upgrade(c *Ctx, t *Token) bool {
 	if !l.l.Upgrade(t.Version, q) {
 		c.putQ(q)
 		c.Counters().Inc(obs.EvUpgradeFail)
+		if tb := c.tr; tb.Sample() {
+			id := lockID(unsafe.Pointer(l))
+			tb.Event(trace.KindLockUpgradeFail, 0, id)
+			tb.NoteNode(id)
+		}
 		return false
 	}
 	t.q = q

@@ -2,9 +2,11 @@ package locks
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"optiql/internal/core"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 // optLockedBit is the most significant bit of the OptLock word, exactly
@@ -46,6 +48,11 @@ func (l *OptLock) ReleaseSh(c *Ctx, t Token) bool {
 	ok := l.word.Load() == t.Version
 	if !ok {
 		c.Counters().Inc(obs.EvShValidateFail)
+		if tb := c.tr; tb.Sample() {
+			id := lockID(unsafe.Pointer(l))
+			tb.Event(trace.KindLockReadFail, 0, id)
+			tb.NoteNode(id)
+		}
 	}
 	return ok
 }
@@ -58,11 +65,22 @@ func (l *OptLock) ReleaseSh(c *Ctx, t Token) bool {
 //
 //optiql:noalloc
 func (l *OptLock) AcquireEx(c *Ctx) Token {
+	tb := c.tr
+	sampled := tb.Sample()
+	var t0 int64
+	if sampled {
+		t0 = tb.Now()
+	}
 	var s core.Spinner
 	for {
 		v := l.word.Load()
 		if v&optLockedBit == 0 && l.word.CompareAndSwap(v, v|optLockedBit) {
 			c.Counters().Inc(obs.EvExFree)
+			if sampled {
+				// Centralized locks never hand over; the wait span is
+				// pure CAS-retry spinning.
+				tb.LockWait(t0, tb.Now()-t0, 0, lockID(unsafe.Pointer(l)))
+			}
 			return Token{Version: v}
 		}
 		s.Spin()
@@ -87,6 +105,11 @@ func (l *OptLock) Upgrade(c *Ctx, t *Token) bool {
 		return true
 	}
 	c.Counters().Inc(obs.EvUpgradeFail)
+	if tb := c.tr; tb.Sample() {
+		id := lockID(unsafe.Pointer(l))
+		tb.Event(trace.KindLockUpgradeFail, 0, id)
+		tb.NoteNode(id)
+	}
 	return false
 }
 

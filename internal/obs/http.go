@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -21,7 +22,10 @@ type LiveSource struct {
 	mu       sync.Mutex
 	snapshot func() Snapshot
 	ops      func() uint64
-	started  time.Time
+	// contention builds the /debug/contention report from the run's
+	// tracer; nil (or a nil return) means tracing is off.
+	contention func() *ContentionReport
+	started    time.Time
 	// last scrape state, for the instantaneous-throughput gauge.
 	lastOps  uint64
 	lastTime time.Time
@@ -38,6 +42,35 @@ func (s *LiveSource) Set(snapshot func() Snapshot, ops func() uint64) {
 	s.started = time.Now()
 	s.lastOps = 0
 	s.lastTime = s.started
+}
+
+// SetContention publishes the contention-report getter backing
+// /debug/contention. Independent of Set so a driver can publish either
+// without the other; nil unpublishes.
+func (s *LiveSource) SetContention(fn func() *ContentionReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.contention = fn
+}
+
+// contentionHandler serves the contention profiler's live view as
+// indented JSON; {"enabled":false} when no tracer is attached.
+func (s *LiveSource) contentionHandler(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.contention
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	var rep *ContentionReport
+	if fn != nil {
+		rep = fn()
+	}
+	if rep == nil {
+		fmt.Fprintln(w, `{"enabled":false}`)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
 }
 
 // sample reads the current snapshot, cumulative ops and the
@@ -123,6 +156,7 @@ func NewMux(src *LiveSource) *http.ServeMux {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", src.metricsHandler)
+	mux.HandleFunc("/debug/contention", src.contentionHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -6,18 +6,24 @@ import (
 	"time"
 
 	"optiql/internal/locks"
+	"optiql/internal/obs/trace"
 	"optiql/internal/server/wire"
 )
 
 // writeOp is one mutation funneled to a shard's executor. The
 // executor fills slot (a sub-slot of p's response) and then marks the
-// op done on p.
+// op done on p. span/enq carry the reader's sampling decision across
+// the queue: span is the request's trace-tree ID (0 = unsampled) and
+// enq the enqueue timestamp, so the executor can attribute the
+// shard-queue wait without a clock read of its own.
 type writeOp struct {
 	op   byte // wire.OpPut or wire.OpDelete
 	key  uint64
 	val  uint64
 	p    *pending
 	slot *wire.Response
+	span uint64
+	enq  int64
 }
 
 // executor is a shard's write path: one goroutine owning one
@@ -33,6 +39,10 @@ type executor struct {
 	batchMax int
 	ctx      *locks.Ctx
 	srv      *Server
+	// tb is the executor's trace buffer (nil when tracing is off):
+	// shard-queue and execute spans for sampled writes, plus its own
+	// sampled batch-size spans.
+	tb *trace.Buf
 	// inflight approximates the shard's queued-but-unexecuted writes;
 	// admission control (Config.InflightMax) sheds against it. The
 	// check-then-add on the submit side races benignly: the budget is a
@@ -63,8 +73,19 @@ func (e *executor) run() {
 				break drain
 			}
 		}
+		// The batch-size span samples on the executor's own counter (it
+		// owns this buffer), keying the span by group size so Perfetto
+		// shows how well the wakeup amortization is working.
+		bs := e.tb.Sample()
+		var bt0 int64
+		if bs {
+			bt0 = e.tb.Now()
+		}
 		for i := range buf {
 			e.apply(&buf[i])
+		}
+		if bs {
+			e.tb.Record(trace.KindExecBatch, 0, bt0, e.tb.Now()-bt0, 0, uint64(len(buf)))
 		}
 	}
 }
@@ -88,6 +109,16 @@ func (e *executor) apply(w *writeOp) {
 	if d := e.srv.hooks.execDelay.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
 	}
+	// A sampled write carries its enqueue timestamp: close the queue
+	// span here and bracket the index call, stitching both into the
+	// request tree via the span ID. The hot-key offer lands in this
+	// shard's sketch.
+	var t0 int64
+	if w.span != 0 {
+		t0 = e.tb.Now()
+		e.tb.Record(trace.KindReqQueue, 0, w.enq, t0-w.enq, w.span, w.key)
+		e.tb.NoteKey(-1, w.key)
+	}
 	e.srv.maybePanic(w.key)
 	switch w.op {
 	case wire.OpPut:
@@ -102,6 +133,9 @@ func (e *executor) apply(w *writeOp) {
 			w.slot.Status = wire.StatusNotFound
 		}
 		e.srv.stats.deletes.Add(1)
+	}
+	if w.span != 0 {
+		e.tb.Record(trace.KindReqExec, 0, t0, e.tb.Now()-t0, w.span, w.key)
 	}
 	e.srv.stats.ops.Add(1)
 	w.p.opDone()

@@ -12,6 +12,7 @@ import (
 
 	"optiql/internal/locks"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 	"optiql/internal/server/wire"
 )
 
@@ -24,6 +25,12 @@ type pending struct {
 	resp      wire.Response
 	remaining atomic.Int32
 	ready     chan struct{}
+	// span is the request's trace-tree ID: connection ID and request
+	// sequence packed by the reader when its sampler fired, 0 when the
+	// request is unsampled (or tracing is off). Every phase span of
+	// this request — decode, queue, execute, write — carries it, so
+	// the Chrome export stitches one wire request into one tree.
+	span uint64
 	// scanBufs holds the pooled buffers whose storage the response's
 	// Pairs alias; the writer returns them once the frame is encoded.
 	// Appended only by the reader goroutine before opDone, read by the
@@ -80,6 +87,16 @@ type conn struct {
 	// read-your-writes: reads on shard i first wait for it. Reader
 	// goroutine only.
 	lastWrite []*pending
+	// id is the connection's process-unique sequence number; reqSeq
+	// counts admitted requests (reader goroutine only). Together they
+	// form sampled requests' span IDs.
+	id     uint64
+	reqSeq uint64
+	// tb is the connection's trace buffer (nil when tracing is off).
+	// The reader owns its sampling counter; the writer only Records
+	// (mutex-safe). Returned to the server's free list when the writer
+	// — always the last of the pair to exit — finishes.
+	tb *trace.Buf
 }
 
 // respQDepth bounds admitted-but-unanswered requests per connection;
@@ -100,7 +117,9 @@ func (s *Server) serveConn(nc net.Conn) {
 		nc:        nc,
 		respQ:     make(chan *pending, respQDepth),
 		lastWrite: make([]*pending, len(s.shards)),
+		id:        s.connSeq.Add(1),
 	}
+	c.tb = s.getConnBuf(int(c.id))
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
@@ -131,10 +150,21 @@ func (c *conn) readLoop() {
 	ctx := locks.NewCtx(c.srv.pool, 8)
 	defer ctx.Close()
 	ctx.SetCounters(c.srv.reg.NewCounters())
+	// Inline reads run on this Ctx, so their lock spans (opportunistic
+	// admits, read validation failures) land in the connection buffer.
+	ctx.SetTrace(c.tb)
 	br := bufio.NewReaderSize(c.nc, 64<<10)
 	var fb wire.FrameBuf
 	for {
 		c.armRead()
+		// One sampling draw per request, taken before the frame read so
+		// the decode span can cover it. The clock is read only when the
+		// draw fires.
+		sampled := c.tb.Sample()
+		var t0 int64
+		if sampled {
+			t0 = c.tb.Now()
+		}
 		payload, err := wire.ReadFrameBuf(br, &fb)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) && !c.srv.closing.Load() {
@@ -153,6 +183,12 @@ func (c *conn) readLoop() {
 			return
 		}
 		p := newPending(req)
+		c.reqSeq++
+		if sampled {
+			// Nonzero by construction: connection IDs start at 1.
+			p.span = c.id<<24 | c.reqSeq&0xFFFFFF
+			c.tb.Record(trace.KindReqDecode, 0, t0, c.tb.Now()-t0, p.span, uint64(req.Op))
+		}
 		c.respQ <- p // admission: response order fixed here
 		if !c.dispatch(ctx, p) {
 			// A handler panic was contained: every constituent of p got a
@@ -238,6 +274,14 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 	switch req.Op {
 	case wire.OpGet:
 		si := s.shardIdx(req.Key)
+		// The inline-read execute span covers the read-your-writes wait
+		// plus the lookup — the request's whole server-side service
+		// time after decode.
+		var t0 int64
+		if p.span != 0 {
+			t0 = c.tb.Now()
+			c.tb.NoteKey(si, req.Key)
+		}
 		c.waitWrite(si, p)
 		s.maybePanic(req.Key)
 		if v, ok := s.shards[si].idx.Lookup(ctx, req.Key); ok {
@@ -246,10 +290,17 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 		} else {
 			slot.Status = wire.StatusNotFound
 		}
+		if p.span != 0 {
+			c.tb.Record(trace.KindReqExec, 0, t0, c.tb.Now()-t0, p.span, req.Key)
+		}
 		s.stats.gets.Add(1)
 		s.stats.ops.Add(1)
 		p.opDone()
 	case wire.OpScan:
+		var t0 int64
+		if p.span != 0 {
+			t0 = c.tb.Now()
+		}
 		for si := range s.shards {
 			c.waitWrite(si, p)
 		}
@@ -257,6 +308,9 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 		slot.Status = wire.StatusOK
 		slot.Pairs = pairs
 		p.scanBufs = append(p.scanBufs, sb)
+		if p.span != 0 {
+			c.tb.Record(trace.KindReqExec, 0, t0, c.tb.Now()-t0, p.span, req.Key)
+		}
 		s.stats.scans.Add(1)
 		s.stats.ops.Add(1)
 		p.opDone()
@@ -276,7 +330,12 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 			return true
 		}
 		ex.inflight.Add(1)
-		ex.ch <- writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
+		wo := writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
+		if p.span != 0 {
+			wo.span = p.span
+			wo.enq = c.tb.Now()
+		}
+		ex.ch <- wo
 		c.lastWrite[si] = p
 	default:
 		slot.Status = wire.StatusErr
@@ -304,6 +363,10 @@ func (c *conn) writeLoop() {
 		c.srv.mu.Lock()
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()
+		// The writer outlives the reader (it drains respQ after the
+		// reader closes it), so this is the last touch of the trace
+		// buffer — safe to recycle it for the next connection.
+		c.srv.putConnBuf(c.tb)
 	}()
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
 	var buf []byte
@@ -325,6 +388,10 @@ func (c *conn) writeLoop() {
 			p.release()
 			continue
 		}
+		var t0 int64
+		if p.span != 0 {
+			t0 = c.tb.Now()
+		}
 		buf, err = wire.AppendResponse(buf[:0], &p.req, &p.resp)
 		p.release() // Pairs are encoded (or abandoned); pool their storage
 		if err != nil {
@@ -341,6 +408,11 @@ func (c *conn) writeLoop() {
 		if _, err = bw.Write(buf); err != nil {
 			brk()
 			continue
+		}
+		if p.span != 0 {
+			// Encode-and-write span: buffered, so usually cheap; stalls
+			// here mean a slow or stopped peer.
+			c.tb.Record(trace.KindReqWrite, 0, t0, c.tb.Now()-t0, p.span, 0)
 		}
 		if cap(buf) > respRetain {
 			// One huge scan response must not pin a megabyte for the

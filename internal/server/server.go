@@ -25,6 +25,7 @@ import (
 	"optiql/internal/faults"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 // Config parameterizes a Server.
@@ -62,6 +63,11 @@ type Config struct {
 	// accepted connection with the fault-injection layer (used by
 	// `optiqld -chaos` and the chaos e2e tests).
 	Chaos *faults.Config
+	// Trace, when set, enables the contention profiler: sampled lock
+	// and request-phase spans, per-shard lock-wait histograms and
+	// hot-key sketches (internal/obs/trace). Its Shards field is
+	// overridden with the server's shard count.
+	Trace *trace.Config
 }
 
 func (c *Config) normalize() error {
@@ -135,6 +141,17 @@ type Server struct {
 	// events (recovered panics, sheds, reaped connections).
 	resil *obs.Counters
 
+	// tracer is the contention profiler (nil when Config.Trace is nil;
+	// every downstream call no-ops on nil). Connection reader buffers
+	// are recycled through tbFree because each conn needs a Buf it
+	// exclusively owns (the sampling counter is unsynchronized), and
+	// churning connections must not grow the tracer's buffer list
+	// without bound.
+	tracer  *trace.Tracer
+	tbMu    sync.Mutex
+	tbFree  []*trace.Buf
+	connSeq atomic.Uint64
+
 	ln      net.Listener
 	mu      sync.Mutex
 	conns   map[*conn]struct{}
@@ -186,6 +203,11 @@ func New(cfg Config) (*Server, error) {
 		conns:  make(map[*conn]struct{}),
 	}
 	s.resil = s.reg.NewCounters()
+	if cfg.Trace != nil {
+		tc := *cfg.Trace
+		tc.Shards = cfg.Shards
+		s.tracer = trace.New(tc)
+	}
 	if cfg.Chaos.Any() {
 		chaos := *cfg.Chaos
 		if chaos.Counters == nil {
@@ -206,13 +228,45 @@ func New(cfg Config) (*Server, error) {
 			batchMax: cfg.BatchMax,
 			ctx:      locks.NewCtx(s.pool, 8),
 			srv:      s,
+			tb:       s.tracer.NewBuf(i, i),
 		}
 		e.ctx.SetCounters(s.reg.NewCounters())
+		e.ctx.SetTrace(e.tb)
 		s.shards = append(s.shards, &shard{idx: idx, exec: e})
 		s.execWG.Add(1)
 		go e.run()
 	}
 	return s, nil
+}
+
+// getConnBuf hands out a trace buffer for one connection's reader, a
+// recycled one when available. A recycled buffer keeps its original
+// worker label — the Chrome-export row — but span IDs carry the real
+// connection identity, so stitching stays correct. Nil when tracing
+// is off.
+func (s *Server) getConnBuf(worker int) *trace.Buf {
+	if s.tracer == nil {
+		return nil
+	}
+	s.tbMu.Lock()
+	if n := len(s.tbFree); n > 0 {
+		b := s.tbFree[n-1]
+		s.tbFree = s.tbFree[:n-1]
+		s.tbMu.Unlock()
+		return b
+	}
+	s.tbMu.Unlock()
+	return s.tracer.NewBuf(-1, worker)
+}
+
+// putConnBuf returns a closed connection's trace buffer for reuse.
+func (s *Server) putConnBuf(b *trace.Buf) {
+	if b == nil {
+		return
+	}
+	s.tbMu.Lock()
+	s.tbFree = append(s.tbFree, b)
+	s.tbMu.Unlock()
 }
 
 // shardIdx routes a key to its partition index.
@@ -350,8 +404,29 @@ func (s *Server) Len() int {
 }
 
 // AttachLive points a live observability source (the -obs /metrics
-// endpoint) at this server's event counters and completed-operation
-// total.
+// endpoint) at this server's event counters, completed-operation
+// total and — when tracing is on — the /debug/contention report.
 func (s *Server) AttachLive(src *obs.LiveSource) {
 	src.Set(s.reg.Snapshot, func() uint64 { return s.stats.ops.Load() })
+	if s.tracer != nil {
+		src.SetContention(s.Contention)
+	}
+}
+
+// Tracer returns the server's contention profiler (nil when tracing
+// is off); optiqld uses it for the -trace Chrome export at shutdown.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// Contention builds the live contention report: the tracer snapshot
+// plus the instantaneous per-shard executor queue depths. Nil when
+// tracing is off.
+func (s *Server) Contention() *obs.ContentionReport {
+	if s.tracer == nil {
+		return nil
+	}
+	depths := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		depths[i] = sh.exec.inflight.Load()
+	}
+	return obs.ContentionFrom(s.tracer, depths)
 }

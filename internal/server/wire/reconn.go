@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"optiql/internal/obs"
+	"optiql/internal/obs/trace"
 )
 
 // Retryable classifies an error from a protocol client: true means a
@@ -83,6 +84,12 @@ type ReconnClient struct {
 	// Counters, when set, mirrors retries/reconnects/overload answers
 	// into the shared obs registry (EvCli*).
 	Counters *obs.Counters
+	// Trace, when set, records backoff sleeps (KindCliRetry, Dur = the
+	// slept delay) and re-dials (KindCliReconnect, Dur = dial time) as
+	// trace spans, so chaos runs show client-attributed latency next to
+	// the server's lock waits. Retries are rare, so spans are recorded
+	// unconditionally rather than sampled.
+	Trace *trace.Buf
 
 	cl    *Client
 	seed  uint64
@@ -132,6 +139,7 @@ func (rc *ReconnClient) connect() error {
 	dial := rc.DialFunc
 	var nc net.Conn
 	var err error
+	t0 := rc.Trace.Now()
 	if dial != nil {
 		nc, err = dial(rc.Addr)
 	} else {
@@ -148,6 +156,7 @@ func (rc *ReconnClient) connect() error {
 	if rc.stats.Dials > 1 {
 		rc.stats.Reconnects++
 		rc.Counters.Inc(obs.EvCliReconnect)
+		rc.Trace.Record(trace.KindCliReconnect, 0, t0, rc.Trace.Now()-t0, 0, 0)
 	}
 	return nil
 }
@@ -166,7 +175,9 @@ func (rc *ReconnClient) nextRand() uint64 {
 // wall-clock scale.
 func (rc *ReconnClient) backoff(limit *time.Duration) {
 	d := *limit/2 + time.Duration(rc.nextRand()%uint64(*limit/2+1))
+	t0 := rc.Trace.Now()
 	time.Sleep(d)
+	rc.Trace.Record(trace.KindCliRetry, 0, t0, rc.Trace.Now()-t0, 0, 0)
 	if *limit < rc.BackoffMax {
 		*limit *= 2
 		if *limit > rc.BackoffMax {
