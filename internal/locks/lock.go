@@ -75,6 +75,36 @@ type Lock interface {
 	Pessimistic() bool
 }
 
+// SharedQueuer is implemented by locks whose wait queue admits shared
+// requesters, enabling release-to-many: a single release hands the lock
+// to a maximal prefix of compatible queued-shared waiters in one batch
+// grant. OptiQL implements it via the queued-shared protocol layered on
+// the same 8-byte word (readers carry the version unchanged); MCS-RW's
+// reader groups are the pessimistic analogue and are batch-granted
+// through its ordinary AcquireSh/ReleaseSh.
+type SharedQueuer interface {
+	Lock
+	// AcquireShQueued joins the FIFO wait queue as a shared requester
+	// and blocks until granted (alone, with its compatible neighbours
+	// by a batch grant, or by taking the free lock directly).
+	AcquireShQueued(c *Ctx) Token
+	// ReleaseShQueued ends a queued-shared hold begun with
+	// AcquireShQueued. The last member of a granted group performs the
+	// structural handover on the group's behalf.
+	ReleaseShQueued(c *Ctx, t Token)
+}
+
+// countFanout accounts a release's handover fanout: a release that woke
+// two or more waiters at once is a batch grant.
+//
+//optiql:noalloc
+func countFanout(c *Ctx, fan int) {
+	if fan > 1 {
+		c.Counters().Inc(obs.EvBatchGrant)
+		c.Counters().Add(obs.EvGrantFanout, uint64(fan))
+	}
+}
+
 // Ctx holds the per-thread resources lock operations draw from: OptiQL
 // queue nodes reserved from a core.Pool and locally allocated
 // reader-writer queue nodes. A Ctx must not be used concurrently;

@@ -42,6 +42,60 @@ func TestBumpOnReuseInvalidatesStaleTokens(t *testing.T) {
 	}
 }
 
+// TestBumpOnReuseQueuedShared pins recycling safety around the
+// queued-shared protocol, for every OptiQL variant: an optimistic token
+// taken before a node's reuse still fails validation when queued-shared
+// holds happened in between (shared holds carry the version unchanged,
+// so only the bump invalidates), and BumpOnReuse during a queued-shared
+// hold leaves the held word untouched — the skip-if-locked contract
+// extends to shared holders.
+func TestBumpOnReuseQueuedShared(t *testing.T) {
+	for _, name := range []string{"OptiQL", "OptiQL-NOR", "OptiQL-AOR"} {
+		s := schemes[name]
+		t.Run(name, func(t *testing.T) {
+			pool := core.NewPool(8)
+			c := newCtx(t, pool)
+			l := s.NewLock()
+			sq := l.(SharedQueuer)
+
+			stale, ok := l.AcquireSh(c)
+			if !ok {
+				t.Fatal("AcquireSh on an idle lock failed")
+			}
+			// A queued-shared round trip does not disturb the snapshot:
+			// readers carry the version through unchanged.
+			qt := sq.AcquireShQueued(c)
+			sq.ReleaseShQueued(c, qt)
+			if !l.ReleaseSh(c, stale) {
+				t.Fatal("snapshot invalidated by a queued-shared round trip")
+			}
+			BumpOnReuse(l)
+			if l.ReleaseSh(c, stale) {
+				t.Fatal("stale token validated after BumpOnReuse")
+			}
+
+			// While a queued-shared hold is in flight the word is locked;
+			// BumpOnReuse must skip rather than corrupt it.
+			qt = sq.AcquireShQueued(c)
+			lk := l.(*OptiQLLock)
+			before := lk.Core().Word()
+			BumpOnReuse(l)
+			if w := lk.Core().Word(); w != before {
+				t.Fatalf("BumpOnReuse changed a shared-held word: %#x -> %#x", before, w)
+			}
+			sq.ReleaseShQueued(c, qt)
+
+			tok, ok := l.AcquireSh(c)
+			if !ok {
+				t.Fatal("AcquireSh after bump failed")
+			}
+			if !l.ReleaseSh(c, tok) {
+				t.Fatal("fresh token failed validation")
+			}
+		})
+	}
+}
+
 // TestBumpOnReuseSkipsHeldLock pins the skip-if-locked contract: the
 // holder's own release bumps the version, so BumpOnReuse must neither
 // spin nor corrupt the held word.

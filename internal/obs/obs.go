@@ -104,6 +104,25 @@ const (
 	// observed (each backed off before retrying).
 	EvCliOverloaded
 
+	// The contention-engine events below account for the reaction half
+	// of the hot-key machinery (PR 7): batched lock grants in the queue
+	// layer and flat-combined applies in the server executor.
+
+	// EvBatchGrant counts queue releases that granted two or more
+	// compatible shared waiters in a single handover (release-to-many).
+	EvBatchGrant
+	// EvGrantFanout sums the fanout of those batch grants: waiters woken
+	// by releases counted in EvBatchGrant. Mean group size is
+	// EvGrantFanout / EvBatchGrant.
+	EvGrantFanout
+	// EvCombinedOps counts queued write operations answered by a
+	// flat-combined apply: ops that were coalesced with other same-key
+	// ops so one tree descent served the whole run.
+	EvCombinedOps
+	// EvCombineDepth counts combined tree descents (one per coalesced
+	// same-key run). Mean run length is EvCombinedOps / EvCombineDepth.
+	EvCombineDepth
+
 	// NumEvents is the number of counter slots; it is NOT an event.
 	NumEvents
 )
@@ -135,6 +154,10 @@ var eventNames = [NumEvents]string{
 	EvCliRetry:        "cli_retry",
 	EvCliReconnect:    "cli_reconnect",
 	EvCliOverloaded:   "cli_overloaded",
+	EvBatchGrant:      "batch_grant",
+	EvGrantFanout:     "grant_fanout",
+	EvCombinedOps:     "combined_ops",
+	EvCombineDepth:    "combine_depth",
 }
 
 // Name returns the event's stable snake_case identifier.

@@ -45,6 +45,9 @@ type Report struct {
 	HotKeys    []HotKeyReport `json:"hot_keys,omitempty"`
 	HotNodes   []HotKeyReport `json:"hot_nodes,omitempty"`
 	QueueDepth []int64        `json:"queue_depth,omitempty"`
+	// Combine is the contention engine's state and counters (absent
+	// unless the serving side ran with combining compiled in).
+	Combine *CombineReport `json:"combine,omitempty"`
 	// Extra carries tool-specific results (per-op counts, read success
 	// rates, expansions, ...).
 	Extra map[string]any `json:"extra,omitempty"`

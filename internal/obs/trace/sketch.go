@@ -1,0 +1,72 @@
+package trace
+
+// Sketch is an exported, single-owner space-saving top-K sketch for
+// consumers outside the tracer — the server's combine policy feeds it
+// sampled hot-key offers and polls it for the top key's share. It is
+// NOT safe for concurrent use: exactly one goroutine may call its
+// methods (the tracer's own sketches are wrapped in mutexes instead;
+// this one stays lock-free because the policy runs entirely on the
+// shard's executor goroutine).
+type Sketch struct {
+	s sketch
+}
+
+// NewSketch returns a sketch tracking up to k items, halving counts
+// every decayEvery offers (<= 0 disables decay).
+func NewSketch(k, decayEvery int) *Sketch {
+	sk := &Sketch{}
+	sk.s.init(k, decayEvery)
+	return sk
+}
+
+// Offer counts one arrival of key.
+//
+//optiql:noalloc
+func (s *Sketch) Offer(key uint64) { s.s.offer(key) }
+
+// Top returns the hottest tracked item and the sum of all tracked
+// counts, allocation-free. Every offer lands in some slot (space-saving
+// evictions inherit the evicted count), so the total approximates the
+// decayed offer volume and top.Count/total estimates the hottest key's
+// traffic share.
+//
+//optiql:noalloc
+func (s *Sketch) Top() (top HotItem, total uint64) {
+	for i := range s.s.items {
+		it := &s.s.items[i]
+		total += it.count
+		if it.count > top.Count || (it.count == top.Count && it.key < top.Key) {
+			top = HotItem{Key: it.key, Count: it.count, Err: it.err}
+		}
+	}
+	return top, total
+}
+
+// HotKeys appends to dst (never beyond its capacity, so callers passing
+// a fixed-size scratch stay allocation-free) the tracked keys whose
+// share of the total tracked count is at least minShare, and returns
+// the extended slice.
+//
+//optiql:noalloc
+func (s *Sketch) HotKeys(dst []uint64, minShare float64) []uint64 {
+	var total uint64
+	for i := range s.s.items {
+		total += s.s.items[i].count
+	}
+	if total == 0 {
+		return dst
+	}
+	floor := uint64(minShare * float64(total))
+	for i := range s.s.items {
+		if len(dst) == cap(dst) {
+			break
+		}
+		if s.s.items[i].count >= floor {
+			dst = append(dst, s.s.items[i].key)
+		}
+	}
+	return dst
+}
+
+// Ranked copies the tracked items out, hottest first (cold path).
+func (s *Sketch) Ranked() []HotItem { return s.s.ranked() }

@@ -68,6 +68,17 @@ type Config struct {
 	// hot-key sketches (internal/obs/trace). Its Shards field is
 	// overridden with the server's shard count.
 	Trace *trace.Config
+	// Combine enables the contention engine's reaction half: each
+	// shard's executor runs an obs.CombinePolicy over its write keys
+	// and, while the policy is armed, coalesces same-key runs within a
+	// drained batch into one tree descent (flat-combining). Off by
+	// default; uniform workloads pay only the policy's sampled counter
+	// even when on.
+	Combine bool
+	// CombineThreshold is the top-key traffic share at which a shard's
+	// policy arms (obs.DefaultCombineThreshold when zero). The policy
+	// disarms below half this value (hysteresis).
+	CombineThreshold float64
 }
 
 func (c *Config) normalize() error {
@@ -229,6 +240,11 @@ func New(cfg Config) (*Server, error) {
 			ctx:      locks.NewCtx(s.pool, 8),
 			srv:      s,
 			tb:       s.tracer.NewBuf(i, i),
+		}
+		if cfg.Combine {
+			e.pol = obs.NewCombinePolicy(cfg.CombineThreshold)
+			e.gid = make([]int32, 0, cfg.BatchMax)
+			e.nxt = make([]int32, cfg.BatchMax)
 		}
 		e.ctx.SetCounters(s.reg.NewCounters())
 		e.ctx.SetTrace(e.tb)
@@ -408,7 +424,7 @@ func (s *Server) Len() int {
 // total and — when tracing is on — the /debug/contention report.
 func (s *Server) AttachLive(src *obs.LiveSource) {
 	src.Set(s.reg.Snapshot, func() uint64 { return s.stats.ops.Load() })
-	if s.tracer != nil {
+	if s.tracer != nil || s.cfg.Combine {
 		src.SetContention(s.Contention)
 	}
 }
@@ -418,15 +434,32 @@ func (s *Server) AttachLive(src *obs.LiveSource) {
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Contention builds the live contention report: the tracer snapshot
-// plus the instantaneous per-shard executor queue depths. Nil when
-// tracing is off.
+// plus the instantaneous per-shard executor queue depths, and — when
+// the contention engine is on — the combine section (policy arming and
+// batch-grant/flat-combining counters). Nil when both tracing and
+// combining are off.
 func (s *Server) Contention() *obs.ContentionReport {
-	if s.tracer == nil {
+	if s.tracer == nil && !s.cfg.Combine {
 		return nil
 	}
 	depths := make([]int64, len(s.shards))
 	for i, sh := range s.shards {
 		depths[i] = sh.exec.inflight.Load()
 	}
-	return obs.ContentionFrom(s.tracer, depths)
+	rep := obs.ContentionFrom(s.tracer, depths)
+	if rep == nil {
+		rep = &obs.ContentionReport{QueueDepth: depths}
+	}
+	if s.cfg.Combine {
+		policies := make([]*obs.CombinePolicy, len(s.shards))
+		threshold := obs.DefaultCombineThreshold
+		for i, sh := range s.shards {
+			policies[i] = sh.exec.pol
+			if t := sh.exec.pol.Threshold(); t > 0 {
+				threshold = t
+			}
+		}
+		rep.Combine = obs.CombineReportFrom(true, threshold, policies, s.reg.Snapshot())
+	}
+	return rep
 }
