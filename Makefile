@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core/ ./internal/locks/ ./internal/hist/ ./internal/btree/ ./internal/art/ ./internal/server/...
+	$(GO) test -race -short ./internal/core/ ./internal/locks/ ./internal/hist/ ./internal/btree/ ./internal/art/ ./internal/server/... ./internal/wal/ ./internal/indextest/...
 
 # lint builds the optiqlvet multichecker once and runs it both
 # standalone (module-wide facts, unused-suppression reporting) and via

@@ -6,6 +6,11 @@
 //
 //	optiqld -addr :4440 -index btree -scheme OptiQL -shards 8
 //	optiqld -addr :4440 -obs :6060          # live /metrics while serving
+//	optiqld -addr :4440 -wal /var/lib/optiql/wal -fsync interval
+//
+// With -wal the daemon is durable: writes are acknowledged only after
+// the fsync policy admits them, and a restart replays the log (plus
+// the latest checkpoint) back into the index before serving.
 //
 // Drive it with the load generator:
 //
@@ -49,6 +54,13 @@ func main() {
 		sample   = flag.Int("sample", 0, "trace sampling interval, 1-in-N requests (0 = default 1024 when -trace is set; also enables /debug/contention without -trace)")
 		combine  = flag.Bool("combine", false, "enable the hot-key contention engine: per-shard policies arm flat-combining of same-key write runs under skew")
 		combineT = flag.Float64("combine-threshold", 0, "top-key traffic share that arms a shard's combining (0 = default 0.08; disarms below half)")
+		walDir   = flag.String("wal", "", "write-ahead-log directory; enables durability + crash recovery (empty = in-memory only)")
+		fsync    = flag.String("fsync", "interval", "fsync policy: always (ack per batch fsync), interval (group commit), off (OS decides)")
+		fsyncInt = flag.Duration("fsync-interval", 0, "max wait before a group-commit fsync (0 = wal default 2ms)")
+		walSeg   = flag.Int64("wal-segment", 0, "segment rotation size in bytes (0 = wal default 64MiB)")
+		walCkpt  = flag.Int64("wal-checkpoint", 0, "sealed bytes between checkpoints (0 = wal default; checkpoints bound replay and reclaim segments)")
+		walQueue = flag.Int("wal-queue", 0, "max appended-but-unsynced ops per shard before writes shed OVERLOADED (interval policy; 0 = no shedding)")
+		walGroup = flag.Int("wal-group", 0, "group-commit fill target in ops per shard (0 = wal default 64)")
 	)
 	flag.Parse()
 
@@ -79,9 +91,33 @@ func main() {
 
 		Combine:          *combine,
 		CombineThreshold: *combineT,
+
+		WALDir:             *walDir,
+		Fsync:              *fsync,
+		FsyncInterval:      *fsyncInt,
+		WALSegmentBytes:    *walSeg,
+		WALCheckpointBytes: *walCkpt,
+		WALSyncQueueMax:    *walQueue,
+		WALGroupOps:        *walGroup,
+		WALLogf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "optiqld: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *walDir != "" {
+		// The recovery line is a stable marker the crash harness and the
+		// CI smoke script parse; keep its shape if you edit it.
+		var reps, rops, torn, ck uint64
+		for _, rec := range srv.WALRecovery() {
+			reps += rec.RecordsReplayed
+			rops += rec.OpsReplayed
+			torn += uint64(rec.TornRecords)
+			ck += rec.CheckpointPairs
+		}
+		fmt.Printf("optiqld: wal recovery complete: %d records / %d ops replayed, %d checkpoint pairs, %d torn-tail truncations\n",
+			reps, rops, ck, torn)
 	}
 	bound, err := srv.Listen()
 	if err != nil {
@@ -97,6 +133,9 @@ func main() {
 		fmt.Printf("observability endpoint on http://%s/metrics\n", oaddr)
 	}
 	fmt.Printf("optiqld serving %s/%s on %s (%d shards)\n", *index, *scheme, bound, *shards)
+	if *walDir != "" {
+		fmt.Printf("optiqld: durability on: wal=%s fsync=%s\n", *walDir, *fsync)
+	}
 	if chaosCfg != nil {
 		fmt.Printf("optiqld: CHAOS MODE: injecting faults on every connection (%s)\n", *chaos)
 	}
@@ -113,6 +152,7 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var walRep *obs.WALReport
 	select {
 	case err := <-errc:
 		if err != nil {
@@ -120,6 +160,9 @@ func main() {
 		}
 	case got := <-sig:
 		fmt.Printf("optiqld: %v, draining...\n", got)
+		// Snapshot durability stats before Shutdown seals and releases
+		// the shard logs; afterwards the report reads all zeros.
+		walRep = srv.WALReport()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(ctx)
 		cancel()
@@ -154,6 +197,11 @@ func main() {
 		fs := inj.Stats()
 		fmt.Printf("optiqld: faults injected: %d total (%d latency, %d stall, %d short-write, %d fragment, %d reset, %d corrupt, %d accept-fail)\n",
 			fs.Total(), fs.Latency, fs.Stall, fs.ShortWrite, fs.Fragment, fs.Reset, fs.Corrupt, fs.AcceptFail)
+	}
+	if walRep != nil {
+		fmt.Printf("optiqld: wal: %d records / %d ops appended (%d bytes), %d fsyncs, %d rotations, %d checkpoints, %d segments reclaimed, %d writes shed\n",
+			walRep.AppendedRecords, walRep.AppendedOps, walRep.AppendedBytes, walRep.Syncs,
+			walRep.Rotations, walRep.Checkpoints, walRep.SegmentsReclaimed, walRep.LagSheds)
 	}
 	snap := srv.Counters()
 	// ART writes acquire via read-to-write upgrades, the B+-tree via

@@ -25,7 +25,10 @@ type LiveSource struct {
 	// contention builds the /debug/contention report from the run's
 	// tracer; nil (or a nil return) means tracing is off.
 	contention func() *ContentionReport
-	started    time.Time
+	// wal builds the /debug/wal report from the server's shard logs;
+	// nil (or a nil return) means the run has no write-ahead log.
+	wal     func() *WALReport
+	started time.Time
 	// last scrape state, for the instantaneous-throughput gauge.
 	lastOps  uint64
 	lastTime time.Time
@@ -51,6 +54,34 @@ func (s *LiveSource) SetContention(fn func() *ContentionReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.contention = fn
+}
+
+// SetWAL publishes the durability-report getter backing /debug/wal.
+// Independent of Set; nil unpublishes.
+func (s *LiveSource) SetWAL(fn func() *WALReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = fn
+}
+
+// walHandler serves the write-ahead log's live view as indented JSON;
+// {"enabled":false} when the run has no WAL.
+func (s *LiveSource) walHandler(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.wal
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	var rep *WALReport
+	if fn != nil {
+		rep = fn()
+	}
+	if rep == nil {
+		fmt.Fprintln(w, `{"enabled":false}`)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
 }
 
 // contentionHandler serves the contention profiler's live view as
@@ -157,6 +188,7 @@ func NewMux(src *LiveSource) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", src.metricsHandler)
 	mux.HandleFunc("/debug/contention", src.contentionHandler)
+	mux.HandleFunc("/debug/wal", src.walHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -123,6 +123,39 @@ const (
 	// same-key run). Mean run length is EvCombinedOps / EvCombineDepth.
 	EvCombineDepth
 
+	// The durability events below account for the write-ahead log
+	// (internal/wal): the append/group-commit pipeline, recovery replay
+	// and the checkpoint/reclaim machinery.
+
+	// EvWalAppendRec counts record batches appended to a WAL.
+	EvWalAppendRec
+	// EvWalAppendOps counts individual operations appended to a WAL
+	// (each record carries one executor batch's worth).
+	EvWalAppendOps
+	// EvWalSync counts fsyncs issued by the group-commit machinery
+	// (ticks, always-policy batches and segment seals alike).
+	EvWalSync
+	// EvWalRotate counts segment rotations (the old segment is sealed —
+	// flushed, fsynced, closed — and a fresh one opened).
+	EvWalRotate
+	// EvWalReplayRec counts records replayed into the index at startup.
+	EvWalReplayRec
+	// EvWalReplayOps counts individual operations replayed at startup
+	// (checkpoint pairs included).
+	EvWalReplayOps
+	// EvWalTornTail counts torn-tail truncations: a partial or
+	// checksum-failing record at the very end of the log, discarded as
+	// an un-fsynced crash remnant.
+	EvWalTornTail
+	// EvWalCheckpoint counts checkpoint snapshots written.
+	EvWalCheckpoint
+	// EvWalSegReclaim counts sealed segments deleted because a
+	// checkpoint made them redundant.
+	EvWalSegReclaim
+	// EvWalLagShed counts writes shed with StatusOverloaded because the
+	// shard's fsync queue was lagging past its budget.
+	EvWalLagShed
+
 	// NumEvents is the number of counter slots; it is NOT an event.
 	NumEvents
 )
@@ -158,6 +191,16 @@ var eventNames = [NumEvents]string{
 	EvGrantFanout:     "grant_fanout",
 	EvCombinedOps:     "combined_ops",
 	EvCombineDepth:    "combine_depth",
+	EvWalAppendRec:    "wal_append_record",
+	EvWalAppendOps:    "wal_append_ops",
+	EvWalSync:         "wal_fsync",
+	EvWalRotate:       "wal_segment_rotate",
+	EvWalReplayRec:    "wal_replay_record",
+	EvWalReplayOps:    "wal_replay_ops",
+	EvWalTornTail:     "wal_torn_tail_truncate",
+	EvWalCheckpoint:   "wal_checkpoint",
+	EvWalSegReclaim:   "wal_segment_reclaimed",
+	EvWalLagShed:      "wal_lag_shed",
 }
 
 // Name returns the event's stable snake_case identifier.

@@ -48,6 +48,9 @@ type Report struct {
 	// Combine is the contention engine's state and counters (absent
 	// unless the serving side ran with combining compiled in).
 	Combine *CombineReport `json:"combine,omitempty"`
+	// WAL is the durability section (absent unless the serving side ran
+	// with a write-ahead log; see internal/wal).
+	WAL *WALReport `json:"wal,omitempty"`
 	// Extra carries tool-specific results (per-op counts, read success
 	// rates, expansions, ...).
 	Extra map[string]any `json:"extra,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"optiql/internal/obs"
 	"optiql/internal/obs/trace"
 	"optiql/internal/server/wire"
+	"optiql/internal/wal"
 )
 
 // writeOp is one mutation funneled to a shard's executor. The
@@ -60,6 +61,13 @@ type executor struct {
 	// rescanning the batch.
 	gid []int32
 	nxt []int32
+	// wal is the shard's write-ahead log (nil without durability);
+	// walOps is the per-batch record scratch and ack the deferred-ack
+	// set being built while a logged batch applies (see wal.go). All
+	// executor-goroutine-owned.
+	wal    *wal.Log
+	walOps []wal.Op
+	ack    *ackBatch
 }
 
 // run is the executor goroutine. It exits when ch is closed and
@@ -93,9 +101,15 @@ func (e *executor) run() {
 		if bs {
 			bt0 = e.tb.Now()
 		}
-		e.applyBatch(buf)
+		e.execBatch(buf)
 		if bs {
 			e.tb.Record(trace.KindExecBatch, 0, bt0, e.tb.Now()-bt0, 0, uint64(len(buf)))
+		}
+		// Queue ran dry: every client with an op here is now waiting on
+		// an ack, so tell the group-commit syncer to fire rather than sit
+		// out the interval tick with a sub-full group.
+		if e.wal != nil && len(e.ch) == 0 {
+			e.wal.Nudge()
 		}
 	}
 }
@@ -214,7 +228,7 @@ func (e *executor) applyRun(buf []writeOp, nxt []int32, g *combineGroup) {
 				w := &buf[i]
 				w.slot.Status = wire.StatusErr
 				w.slot.Err = fmt.Sprintf("internal error: %v", r)
-				w.p.opDone()
+				e.complete(w)
 				i = nxt[i]
 			}
 		}
@@ -287,7 +301,7 @@ func (e *executor) applyRun(buf []writeOp, nxt []int32, g *combineGroup) {
 			present = false
 			deletes++
 		}
-		w.p.opDone()
+		e.complete(w)
 		i = nxt[i]
 	}
 	if puts > 0 {
@@ -311,8 +325,8 @@ func (e *executor) apply(w *writeOp) {
 			w.slot.Err = fmt.Sprintf("internal error: %v", r)
 			e.srv.noteRecoveredPanic()
 			// Panics originate in the index calls, before the normal-path
-			// opDone below — completing here cannot double-complete.
-			w.p.opDone()
+			// completion below — completing here cannot double-complete.
+			e.complete(w)
 		}
 	}()
 	if d := e.srv.hooks.execDelay.Load(); d > 0 {
@@ -347,5 +361,5 @@ func (e *executor) apply(w *writeOp) {
 		e.tb.Record(trace.KindReqExec, 0, t0, e.tb.Now()-t0, w.span, w.key)
 	}
 	e.srv.stats.ops.Add(1)
-	w.p.opDone()
+	e.complete(w)
 }

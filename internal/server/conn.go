@@ -36,6 +36,40 @@ type pending struct {
 	// Appended only by the reader goroutine before opDone, read by the
 	// writer after ready closes.
 	scanBufs []*scanBuf
+	// applied closes once every write routed from this request has been
+	// applied to its shard index. Allocated only when a WAL defers ready
+	// past the apply (ready then waits on the group-commit fsync);
+	// read-your-writes needs the apply, not the durability, so reads
+	// wait here instead of stalling their pipeline behind an fsync.
+	// appliedLeft counts routed-but-unapplied writes plus one routing
+	// hold, released when the reader finishes dispatching the request —
+	// without the hold, a batch's first write could close the channel
+	// before its second write was routed.
+	applied     chan struct{}
+	appliedLeft atomic.Int32
+}
+
+// noteApplied marks one routed write as applied to its index.
+func (p *pending) noteApplied() {
+	if p.applied != nil && p.appliedLeft.Add(-1) == 0 {
+		close(p.applied)
+	}
+}
+
+// noteRouted records a write handed to a shard executor. Reader
+// goroutine only, before the executor send.
+func (p *pending) noteRouted() {
+	if p.applied != nil {
+		p.appliedLeft.Add(1)
+	}
+}
+
+// routingDone releases the routing hold once the reader has dispatched
+// the whole request.
+func (p *pending) routingDone() {
+	if p.applied != nil && p.appliedLeft.Add(-1) == 0 {
+		close(p.applied)
+	}
 }
 
 // release returns the pooled scan buffers backing this response. The
@@ -183,6 +217,10 @@ func (c *conn) readLoop() {
 			return
 		}
 		p := newPending(req)
+		if c.srv.walDefersAcks {
+			p.applied = make(chan struct{})
+			p.appliedLeft.Store(1)
+		}
 		c.reqSeq++
 		if sampled {
 			// Nonzero by construction: connection IDs start at 1.
@@ -235,6 +273,7 @@ func (c *conn) fail(err error) {
 // each other (its reads are not guaranteed to observe its writes);
 // the batch response is sent only when all of them have completed.
 func (c *conn) dispatch(ctx *locks.Ctx, p *pending) bool {
+	defer p.routingDone()
 	if p.req.Op == wire.OpBatch {
 		c.srv.stats.batches.Add(1)
 		for i := range p.req.Sub {
@@ -317,6 +356,11 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 	case wire.OpPut, wire.OpDelete:
 		si := s.shardIdx(req.Key)
 		ex := s.shards[si].exec
+		if c.walGate(si, p, slot) {
+			// Answered here: the shard's log is poisoned (StatusErr) or
+			// its fsync queue is over budget (StatusOverloaded).
+			return true
+		}
 		if max := int64(s.cfg.InflightMax); max > 0 && ex.inflight.Load() >= max {
 			// Admission control: the shard's queue is over budget, so shed
 			// this write instead of queuing (or blocking) behind it. The
@@ -330,6 +374,7 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 			return true
 		}
 		ex.inflight.Add(1)
+		p.noteRouted()
 		wo := writeOp{op: req.Op, key: req.Key, val: req.Value, p: p, slot: slot}
 		if p.span != 0 {
 			wo.span = p.span
@@ -349,10 +394,18 @@ func (c *conn) dispatchOne(ctx *locks.Ctx, p *pending, req *wire.Request, slot *
 // waitWrite blocks until this connection's latest write on shard si
 // (if any) has executed, unless that write belongs to p itself (a
 // batch mixing a read after a write on one shard would otherwise wait
-// on its own completion).
+// on its own completion). With a WAL the wait is on the apply, not the
+// ack: the write is in the index (and in the log, ahead of its fsync)
+// once applied closes, which is all read-your-writes needs — waiting
+// on ready would park every read behind a group-commit fsync and
+// serialize the connection's pipeline at fsync granularity.
 func (c *conn) waitWrite(si int, p *pending) {
 	if lw := c.lastWrite[si]; lw != nil && lw != p {
-		<-lw.ready
+		if lw.applied != nil {
+			<-lw.applied
+		} else {
+			<-lw.ready
+		}
 	}
 }
 

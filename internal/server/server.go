@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,34 @@ type Config struct {
 	// policy arms (obs.DefaultCombineThreshold when zero). The policy
 	// disarms below half this value (hysteresis).
 	CombineThreshold float64
+	// WALDir, when set, enables the per-shard write-ahead log rooted
+	// there (one subdirectory per shard): startup replays existing
+	// segments into the shards, every executor batch is appended before
+	// it is applied, and client acks wait for the Fsync policy.
+	WALDir string
+	// Fsync is the WAL ack policy: wal.SyncAlways, wal.SyncInterval
+	// (default) or wal.SyncOff. Ignored without WALDir.
+	Fsync string
+	// FsyncInterval is the group-commit pacing bound (wal.Config
+	// .Interval); zero means the wal default.
+	FsyncInterval time.Duration
+	// WALSegmentBytes / WALCheckpointBytes size segment rotation and the
+	// checkpoint trigger; zero means the wal defaults.
+	WALSegmentBytes    int64
+	WALCheckpointBytes int64
+	// WALSyncQueueMax bounds appended-but-unsynced ops per shard before
+	// writes are shed with StatusOverloaded (interval policy only; zero
+	// disables shedding).
+	WALSyncQueueMax int
+	// WALGroupOps is the group-commit fill target per shard (wal.Config
+	// GroupOps); zero means the wal default (64).
+	WALGroupOps int
+	// WALLogf receives WAL recovery/failure notices (nil discards).
+	WALLogf func(format string, args ...any)
+	// WALSyncFile overrides the log's fsync call — the fault-injection
+	// seam (internal/faults.SlowSync / FailSyncAfter). Nil means a real
+	// (*os.File).Sync.
+	WALSyncFile func(f *os.File) error
 }
 
 func (c *Config) normalize() error {
@@ -148,6 +177,11 @@ type Server struct {
 	reg    *obs.Registry
 	shards []*shard
 	inj    *faults.Injector
+	// walDefersAcks is true when the WAL policy parks write acks on a
+	// later fsync (interval/always): only then do pendings carry the
+	// applied barrier that lets reads pass waiting acks. Under off (or
+	// no WAL) acks land at apply time and ready doubles as the barrier.
+	walDefersAcks bool
 	// resil is the dedicated counter set for server-level resilience
 	// events (recovered panics, sheds, reaped connections).
 	resil *obs.Counters
@@ -249,8 +283,17 @@ func New(cfg Config) (*Server, error) {
 		e.ctx.SetCounters(s.reg.NewCounters())
 		e.ctx.SetTrace(e.tb)
 		s.shards = append(s.shards, &shard{idx: idx, exec: e})
+	}
+	// Recovery replays into the shard indexes on the executors' Ctxs, so
+	// it runs before the executor goroutines start.
+	if cfg.WALDir != "" {
+		if err := s.openWALs(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		s.execWG.Add(1)
-		go e.run()
+		go sh.exec.run()
 	}
 	return s, nil
 }
@@ -379,6 +422,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 		})
 		s.execWG.Wait()
+		// Every admitted write is now appended and applied; seal the
+		// shard logs (flush + fsync + close) so a restart replays this
+		// state with no torn tail, under every fsync policy.
+		s.closeWALs()
 		close(done)
 	}()
 	select {
@@ -426,6 +473,9 @@ func (s *Server) AttachLive(src *obs.LiveSource) {
 	src.Set(s.reg.Snapshot, func() uint64 { return s.stats.ops.Load() })
 	if s.tracer != nil || s.cfg.Combine {
 		src.SetContention(s.Contention)
+	}
+	if s.WALEnabled() {
+		src.SetWAL(s.WALReport)
 	}
 }
 

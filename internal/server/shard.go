@@ -9,6 +9,7 @@ import (
 	"optiql/internal/btree"
 	"optiql/internal/locks"
 	"optiql/internal/server/wire"
+	"optiql/internal/wal"
 )
 
 // Index is the per-shard substrate surface the server needs: point
@@ -67,11 +68,17 @@ func newIndex(kind string, scheme *locks.Scheme, nodeSize int) (Index, error) {
 	return nil, fmt.Errorf("server: unknown index kind %q", kind)
 }
 
-// shard is one partition: an index instance plus the executor that
-// serializes and batches its writes.
+// shard is one partition: an index instance, the executor that
+// serializes and batches its writes, and — when durability is on — its
+// write-ahead log plus the lock context the checkpoint scanner uses.
 type shard struct {
 	idx  Index
 	exec *executor
+	// wal is the shard's write-ahead log (nil without Config.WALDir).
+	wal *wal.Log
+	// ckptCtx is the checkpoint snapshot scanner's lock context; it runs
+	// concurrently with the executor so it cannot share the executor's.
+	ckptCtx *locks.Ctx
 }
 
 // shardHash is the splitmix64 finalizer; it spreads dense keys across

@@ -81,6 +81,11 @@ type ReconnClient struct {
 	// between attempts (defaults 1ms / 200ms).
 	BackoffMin time.Duration
 	BackoffMax time.Duration
+	// Seed seeds the backoff jitter stream; zero derives a seed from
+	// the wall clock. A fixed seed makes the retry schedule
+	// reproducible — the crash harness and the backoff tests rely on
+	// that determinism.
+	Seed uint64
 	// Counters, when set, mirrors retries/reconnects/overload answers
 	// into the shared obs registry (EvCli*).
 	Counters *obs.Counters
@@ -115,7 +120,11 @@ func (rc *ReconnClient) defaults() {
 		rc.BackoffMax = 200 * time.Millisecond
 	}
 	if rc.seed == 0 {
-		rc.seed = uint64(time.Now().UnixNano()) | 1
+		if rc.Seed != 0 {
+			rc.seed = rc.Seed
+		} else {
+			rc.seed = uint64(time.Now().UnixNano()) | 1
+		}
 	}
 }
 
@@ -170,20 +179,27 @@ func (rc *ReconnClient) nextRand() uint64 {
 	return x ^ (x >> 31)
 }
 
-// backoff sleeps for a jittered delay under *limit and doubles the
-// limit, truncated at BackoffMax — the OptLockBackoff idiom on a
-// wall-clock scale.
-func (rc *ReconnClient) backoff(limit *time.Duration) {
+// nextBackoff draws the next jittered delay — uniform in
+// [limit/2, limit] — and doubles the limit, truncated at BackoffMax:
+// the OptLockBackoff idiom on a wall-clock scale. Split from the
+// sleep so the bounds and seed-determinism are testable directly.
+func (rc *ReconnClient) nextBackoff(limit *time.Duration) time.Duration {
 	d := *limit/2 + time.Duration(rc.nextRand()%uint64(*limit/2+1))
-	t0 := rc.Trace.Now()
-	time.Sleep(d)
-	rc.Trace.Record(trace.KindCliRetry, 0, t0, rc.Trace.Now()-t0, 0, 0)
 	if *limit < rc.BackoffMax {
 		*limit *= 2
 		if *limit > rc.BackoffMax {
 			*limit = rc.BackoffMax
 		}
 	}
+	return d
+}
+
+// backoff sleeps for the next jittered delay under *limit.
+func (rc *ReconnClient) backoff(limit *time.Duration) {
+	d := rc.nextBackoff(limit)
+	t0 := rc.Trace.Now()
+	time.Sleep(d)
+	rc.Trace.Record(trace.KindCliRetry, 0, t0, rc.Trace.Now()-t0, 0, 0)
 }
 
 // retry accounts one retry decision.

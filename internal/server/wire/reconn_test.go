@@ -378,3 +378,90 @@ func TestStatusOverloadedRoundTrip(t *testing.T) {
 		t.Fatalf("batch round trip = %+v, %v", got, err)
 	}
 }
+
+// TestBackoffJitterBounds: every drawn delay lies in [limit/2, limit]
+// for the limit in force when it was drawn, and the limit itself
+// follows the truncated doubling schedule min, 2min, 4min, ..., max.
+func TestBackoffJitterBounds(t *testing.T) {
+	rc := &ReconnClient{
+		BackoffMin: time.Millisecond,
+		BackoffMax: 64 * time.Millisecond,
+		Seed:       7,
+	}
+	rc.defaults()
+	limit := rc.BackoffMin
+	wantLimit := rc.BackoffMin
+	for i := 0; i < 200; i++ {
+		if limit != wantLimit {
+			t.Fatalf("draw %d: limit %v, want %v", i, limit, wantLimit)
+		}
+		cur := limit
+		d := rc.nextBackoff(&limit)
+		if d < cur/2 || d > cur {
+			t.Fatalf("draw %d: delay %v outside [%v, %v]", i, d, cur/2, cur)
+		}
+		if wantLimit < rc.BackoffMax {
+			wantLimit *= 2
+			if wantLimit > rc.BackoffMax {
+				wantLimit = rc.BackoffMax
+			}
+		}
+	}
+	if limit != rc.BackoffMax {
+		t.Fatalf("limit settled at %v, want BackoffMax %v", limit, rc.BackoffMax)
+	}
+}
+
+// TestBackoffJitterDeterminism: a fixed Seed reproduces the exact
+// delay schedule; a different seed diverges.
+func TestBackoffJitterDeterminism(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		rc := &ReconnClient{
+			BackoffMin: time.Millisecond,
+			BackoffMax: 200 * time.Millisecond,
+			Seed:       seed,
+		}
+		rc.defaults()
+		limit := rc.BackoffMin
+		out := make([]time.Duration, 64)
+		for i := range out {
+			out[i] = rc.nextBackoff(&limit)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffSeedZeroStillJitters: the wall-clock fallback seed must
+// not collapse the jitter to a constant.
+func TestBackoffSeedZeroStillJitters(t *testing.T) {
+	rc := &ReconnClient{BackoffMin: time.Millisecond, BackoffMax: 256 * time.Millisecond}
+	rc.defaults()
+	if rc.seed == 0 {
+		t.Fatal("defaults left the jitter stream unseeded")
+	}
+	limit := 128 * time.Millisecond // fixed limit: variation must come from jitter
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		l := limit
+		seen[rc.nextBackoff(&l)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 draws produced %d distinct delays", len(seen))
+	}
+}

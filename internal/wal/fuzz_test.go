@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeg builds a well-formed single-segment log for seeding: header
+// plus n one-op records starting at seq 1.
+func fuzzSeg(n int) []byte {
+	seg := make([]byte, 0, segHdrSize+n*(recFixed+opPutSize))
+	seg = append(seg, segMagic...)
+	seg = binary.BigEndian.AppendUint64(seg, 1)
+	for i := 1; i <= n; i++ {
+		seg = appendRecord(seg, uint64(i), []Op{{Op: OpPut, Key: uint64(i), Val: uint64(i * 3)}})
+	}
+	return seg
+}
+
+// FuzzWALReplay throws arbitrary bytes at the recovery scanner as the
+// only (and therefore last, torn-tail-eligible) segment of a log. The
+// invariants, whatever the input:
+//
+//  1. recovery never panics;
+//  2. recovery never replays past a decode failure — everything it
+//     applied came from the valid prefix, which re-encodes
+//     byte-identically to what recovery left on disk;
+//  3. recovery is idempotent — a second open over the recovered
+//     directory replays exactly the same operations.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})                  // no file content at all
+	f.Add([]byte(segMagic))          // header-only torn mid-write
+	f.Add(fuzzSeg(0))                // record-free segment
+	f.Add(fuzzSeg(3))                // clean small log
+	f.Add(fuzzSeg(3)[:segHdrSize+5]) // torn first record
+	f.Add(append(fuzzSeg(2), 0x13, 0x37) /* trailing garbage */)
+	mut := fuzzSeg(4)
+	mut[segHdrSize+recFixed+3] ^= 0x40 // corrupt op payload under a stale CRC
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		name := filepath.Join(dir, segName(1))
+		if err := os.WriteFile(name, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		type rec struct {
+			seq uint64
+			ops []Op
+		}
+		var got []rec
+		cfg := Config{Policy: SyncOff}
+		l, st, err := Open(dir, cfg, func(seq uint64, ops []Op) {
+			got = append(got, rec{seq, append([]Op(nil), ops...)})
+		})
+		if err != nil {
+			// Refusing garbage is a valid outcome; replaying ops first and
+			// then refusing would not be.
+			if len(got) != 0 {
+				t.Fatalf("open failed (%v) after applying %d records", err, len(got))
+			}
+			return
+		}
+
+		if err := l.Close(); err != nil {
+			t.Fatalf("close after recovery: %v", err)
+		}
+
+		// (2) The applied stream re-encodes to exactly the bytes recovery
+		// kept: same header, same records, nothing beyond the truncation.
+		// Checked after Close so the comparison also holds when recovery
+		// replaced a record-free fuzz segment with a fresh active one
+		// (whose header is buffered until the seal flushes it).
+		want := make([]byte, 0, len(data))
+		want = append(want, segMagic...)
+		want = binary.BigEndian.AppendUint64(want, 1)
+		for _, r := range got {
+			want = appendRecord(want, r.seq, r.ops)
+		}
+		onDisk, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read recovered segment: %v", err)
+		}
+		if !bytes.Equal(onDisk, want) {
+			t.Fatalf("recovered segment diverges from re-encoded replay:\n disk %d bytes, re-encoded %d bytes (torn=%d records / %d bytes)",
+				len(onDisk), len(want), st.TornRecords, st.TornBytes)
+		}
+
+		// (3) Idempotence: reopening replays the identical stream.
+		var again []rec
+		l2, _, err := Open(dir, cfg, func(seq uint64, ops []Op) {
+			again = append(again, rec{seq, append([]Op(nil), ops...)})
+		})
+		if err != nil {
+			t.Fatalf("reopen of recovered dir failed: %v", err)
+		}
+		defer l2.Close()
+		if len(again) != len(got) {
+			t.Fatalf("reopen replayed %d records, first open %d", len(again), len(got))
+		}
+		for i := range got {
+			if again[i].seq != got[i].seq || len(again[i].ops) != len(got[i].ops) {
+				t.Fatalf("record %d diverged across reopens", i)
+			}
+			for j := range got[i].ops {
+				if again[i].ops[j] != got[i].ops[j] {
+					t.Fatalf("record %d op %d diverged across reopens", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"optiql/internal/obs"
+)
+
+// RecoveryStats summarizes one Open-time recovery pass.
+type RecoveryStats struct {
+	// CheckpointSeq / CheckpointPairs describe the snapshot recovery
+	// started from (zero when no valid checkpoint existed);
+	// CheckpointsDiscarded counts invalid snapshot files skipped.
+	CheckpointSeq        uint64
+	CheckpointPairs      uint64
+	CheckpointsDiscarded int
+	// SegmentsScanned / SegmentsSkipped partition the segment files:
+	// skipped segments were wholly covered by the checkpoint.
+	SegmentsScanned int
+	SegmentsSkipped int
+	// RecordsReplayed / OpsReplayed count records applied to the index
+	// (records at or below the checkpoint sequence are verified but not
+	// re-applied).
+	RecordsReplayed uint64
+	OpsReplayed     uint64
+	// TornRecords / TornBytes describe the torn tail truncated from the
+	// last segment, if any. A graceful shutdown leaves both zero.
+	TornRecords int
+	TornBytes   int64
+	// LastSeq is the highest surviving record sequence (or the
+	// checkpoint sequence if it is higher); appends resume after it.
+	LastSeq uint64
+
+	// liveBytes is the sealed-segment byte volume left uncovered by the
+	// checkpoint, seeding the size-triggered checkpoint accumulator.
+	liveBytes int64
+}
+
+// recover loads the newest valid checkpoint, replays newer records
+// through apply, truncates a torn tail in the last segment and deletes
+// a last segment that lost even its header. Decode failures anywhere
+// else are corruption and abort recovery with an error: sealed
+// segments were fsynced before their successor existed, so damage
+// there cannot be a torn write.
+func (l *Log) recover(apply func(seq uint64, ops []Op)) (RecoveryStats, error) {
+	var rec RecoveryStats
+
+	ckSeq, ckPairs, discarded, err := l.loadLatestCheckpoint(apply)
+	if err != nil {
+		return rec, err
+	}
+	rec.CheckpointSeq = ckSeq
+	rec.CheckpointPairs = ckPairs
+	rec.CheckpointsDiscarded = discarded
+	rec.LastSeq = ckSeq
+
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return rec, err
+	}
+	if len(segs) == 0 {
+		return rec, nil
+	}
+
+	// A segment is skippable when its successor starts at or before
+	// ckSeq+1: every record in it is covered by the checkpoint.
+	firstNeeded := 0
+	for firstNeeded+1 < len(segs) && segs[firstNeeded+1].firstSeq <= ckSeq+1 {
+		firstNeeded++
+	}
+	rec.SegmentsSkipped = firstNeeded
+	// Unconditional: with ckSeq == 0 this catches the silent-data-loss
+	// shape where reclaimed segments outlived every valid checkpoint —
+	// replaying only a suffix must fail, not "succeed".
+	if segs[firstNeeded].firstSeq > ckSeq+1 {
+		return rec, fmt.Errorf("wal: gap between checkpoint seq %d and first segment %s", ckSeq, segs[firstNeeded].name)
+	}
+
+	buf := make([]byte, recHdrSize+maxRecSize)
+	ops := make([]Op, 0, maxOpsPerRecord)
+	expect := segs[firstNeeded].firstSeq
+	for i := firstNeeded; i < len(segs); i++ {
+		s := segs[i]
+		last := i == len(segs)-1
+		if s.firstSeq != expect {
+			return rec, fmt.Errorf("wal: segment %s starts at seq %d, want %d", s.name, s.firstSeq, expect)
+		}
+		next, err := l.scanSegment(s, last, ckSeq, buf, ops, apply, &rec)
+		if err != nil {
+			return rec, err
+		}
+		rec.SegmentsScanned++
+		expect = next
+	}
+	if expect > 0 && expect-1 > rec.LastSeq {
+		rec.LastSeq = expect - 1
+	}
+
+	// Re-list after truncation to seed the checkpoint accumulator and
+	// clear the way for the fresh active segment: a (possibly torn)
+	// segment that ended up record-free carries nothing, and its name
+	// may collide with the segment Open is about to create.
+	segs, err = listSegments(l.dir)
+	if err != nil {
+		return rec, err
+	}
+	for _, s := range segs {
+		if s.size <= segHdrSize && s.firstSeq >= rec.LastSeq+1 {
+			if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+				return rec, fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		if s.firstSeq > ckSeq {
+			rec.liveBytes += s.size
+		}
+	}
+	if rec.TornRecords > 0 || rec.TornBytes > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return rec, err
+		}
+	}
+	return rec, nil
+}
+
+// scanSegment verifies every record in one segment, applying those
+// newer than ckSeq, and returns the sequence expected after it. In the
+// last segment a decode failure truncates the file at the failed
+// record's start (torn tail); elsewhere it is fatal.
+func (l *Log) scanSegment(s segInfo, isLast bool, ckSeq uint64, buf []byte, ops []Op, apply func(uint64, []Op), rec *RecoveryStats) (uint64, error) {
+	path := filepath.Join(l.dir, s.name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	torn := func(off int64, reason string) error {
+		if !isLast {
+			return fmt.Errorf("wal: corrupt record in sealed segment %s at offset %d: %s", s.name, off, reason)
+		}
+		rec.TornRecords++
+		rec.TornBytes += s.size - off
+		if c := l.cfg.Counters; c != nil {
+			c.Inc(obs.EvWalTornTail)
+		}
+		l.cfg.Logf("wal: truncating torn tail of %s at offset %d (%d bytes): %s", s.name, off, s.size-off, reason)
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync truncated segment: %w", err)
+		}
+		return nil
+	}
+
+	// Header. A last segment too short for even the header is wholly a
+	// torn creation; truncating to zero leaves a record-free file that
+	// the caller removes.
+	hdr := buf[:segHdrSize]
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return s.firstSeq, torn(0, "short segment header")
+	}
+	if string(hdr[:8]) != segMagic {
+		return s.firstSeq, torn(0, "bad segment magic")
+	}
+	if got := binary.BigEndian.Uint64(hdr[8:]); got != s.firstSeq {
+		return 0, fmt.Errorf("wal: segment %s: header seq %d disagrees with name", s.name, got)
+	}
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	off := int64(segHdrSize)
+	expect := s.firstSeq
+	for {
+		if _, err := io.ReadFull(br, buf[:recHdrSize]); err != nil {
+			if err == io.EOF {
+				break // clean end of segment
+			}
+			return expect, torn(off, "short record header")
+		}
+		crc := binary.BigEndian.Uint32(buf[0:4])
+		size := binary.BigEndian.Uint32(buf[4:8])
+		if size < recFixed || size > maxRecSize {
+			return expect, torn(off, fmt.Sprintf("record size %d out of range", size))
+		}
+		if _, err := io.ReadFull(br, buf[recHdrSize:recHdrSize+int(size)]); err != nil {
+			return expect, torn(off, "short record body")
+		}
+		if got := crc32.Checksum(buf[4:recHdrSize+int(size)], castagnoli); got != crc {
+			return expect, torn(off, "checksum mismatch")
+		}
+		seq := binary.BigEndian.Uint64(buf[8:16])
+		count := binary.BigEndian.Uint32(buf[16:20])
+		if seq != expect {
+			// The checksum held, so these bytes are exactly what some
+			// writer produced: a sequence break is corruption (or a
+			// foreign file), never a torn write.
+			return 0, fmt.Errorf("wal: segment %s offset %d: record seq %d, want %d", s.name, off, seq, expect)
+		}
+		decoded, err := parseOps(buf[recHdrSize+recFixed:recHdrSize+int(size)], count, ops)
+		if err != nil {
+			return 0, fmt.Errorf("wal: segment %s offset %d: %w", s.name, off, err)
+		}
+		ops = decoded
+		if seq > ckSeq {
+			apply(seq, ops)
+			rec.RecordsReplayed++
+			rec.OpsReplayed += uint64(len(ops))
+			if c := l.cfg.Counters; c != nil {
+				c.Inc(obs.EvWalReplayRec)
+				c.Add(obs.EvWalReplayOps, uint64(len(ops)))
+			}
+		}
+		expect = seq + 1
+		off += recHdrSize + int64(size)
+	}
+	return expect, nil
+}

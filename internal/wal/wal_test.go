@@ -1,0 +1,722 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector gathers replayed ops and maintains the key/value model
+// they produce.
+type collector struct {
+	records int
+	ops     int
+	model   map[uint64]uint64
+}
+
+func newCollector() *collector { return &collector{model: map[uint64]uint64{}} }
+
+func (c *collector) apply(seq uint64, ops []Op) {
+	c.records++
+	c.ops += len(ops)
+	for _, o := range ops {
+		if o.Op == OpPut {
+			c.model[o.Key] = o.Val
+		} else {
+			delete(c.model, o.Key)
+		}
+	}
+}
+
+// ack is a test Committer delivering the commit error on a channel.
+type ack struct{ ch chan error }
+
+func newAck() *ack                 { return &ack{ch: make(chan error, 1)} }
+func (a *ack) Committed(err error) { a.ch <- err }
+func (a *ack) wait(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-a.ch:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit ack never arrived")
+		return nil
+	}
+}
+
+// putBatch builds a batch of PUTs with deterministic keys/values.
+func putBatch(start, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Op: OpPut, Key: uint64(start + i), Val: uint64(start+i) * 3}
+	}
+	return ops
+}
+
+func mustOpen(t *testing.T, dir string, cfg Config, apply func(uint64, []Op)) (*Log, RecoveryStats) {
+	t.Helper()
+	if apply == nil {
+		apply = func(uint64, []Op) {}
+	}
+	l, rec, err := Open(dir, cfg, apply)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Config{Policy: SyncOff}, nil)
+	if rec.LastSeq != 0 || rec.RecordsReplayed != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	want := map[uint64]uint64{}
+	for b := 0; b < 50; b++ {
+		ops := putBatch(b*8, 8)
+		if b%5 == 4 {
+			ops[3] = Op{Op: OpDelete, Key: uint64(b * 8)}
+		}
+		for _, o := range ops {
+			if o.Op == OpPut {
+				want[o.Key] = o.Val
+			} else {
+				delete(want, o.Key)
+			}
+		}
+		seq, err := l.Append(ops)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(b+1) {
+			t.Fatalf("batch %d got seq %d", b, seq)
+		}
+		l.NoteApplied(seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c := newCollector()
+	l2, rec2 := mustOpen(t, dir, Config{Policy: SyncOff}, c.apply)
+	defer l2.Close()
+	if rec2.RecordsReplayed != 50 || rec2.LastSeq != 50 {
+		t.Fatalf("recovery = %+v, want 50 records, last seq 50", rec2)
+	}
+	if rec2.TornRecords != 0 || rec2.TornBytes != 0 {
+		t.Fatalf("clean close produced torn tail: %+v", rec2)
+	}
+	if len(c.model) != len(want) {
+		t.Fatalf("model size %d, want %d", len(c.model), len(want))
+	}
+	for k, v := range want {
+		if c.model[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, c.model[k], v)
+		}
+	}
+	// Appends resume after the recovered sequence.
+	seq, err := l2.Append(putBatch(0, 1))
+	if err != nil || seq != 51 {
+		t.Fatalf("post-recovery append seq %d err %v, want 51", seq, err)
+	}
+}
+
+// TestTornTailExactness writes a 1M-op log into a single segment,
+// chops the file mid-record at a deterministic offset, and asserts
+// recovery truncates exactly the unsynced suffix: every record fully
+// below the chop survives, the partial record and everything after it
+// is gone, and TornBytes matches the partial-record remainder.
+func TestTornTailExactness(t *testing.T) {
+	const batch = 512
+	totalOps := 1_000_000
+	if testing.Short() {
+		totalOps = 100_000
+	}
+	records := totalOps / batch
+	recSize := int64(recHdrSize + recFixed + batch*opPutSize)
+
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 1 << 40}, nil)
+	for b := 0; b < records; b++ {
+		if _, err := l.Append(putBatch(b*batch, batch)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	seg := filepath.Join(dir, segName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if want := segHdrSize + int64(records)*recSize; fi.Size() != want {
+		t.Fatalf("segment size %d, want %d", fi.Size(), want)
+	}
+
+	// Chop 7 bytes into the header of record keep+1.
+	keep := records - 3
+	const delta = 7
+	cut := segHdrSize + int64(keep)*recSize + delta
+	if err := os.Truncate(seg, cut); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	c := newCollector()
+	l2, rec := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 1 << 40}, c.apply)
+	defer l2.Close()
+	if rec.RecordsReplayed != uint64(keep) || c.ops != keep*batch {
+		t.Fatalf("replayed %d records / %d ops, want %d / %d", rec.RecordsReplayed, c.ops, keep, keep*batch)
+	}
+	if rec.TornRecords != 1 || rec.TornBytes != delta {
+		t.Fatalf("torn = %d records / %d bytes, want 1 / %d", rec.TornRecords, rec.TornBytes, delta)
+	}
+	if rec.LastSeq != uint64(keep) {
+		t.Fatalf("LastSeq %d, want %d", rec.LastSeq, keep)
+	}
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != cut-delta {
+		t.Fatalf("truncated segment size %v/%v, want %d", fi.Size(), err, cut-delta)
+	}
+	// The surviving model is exactly the first keep*batch puts.
+	if len(c.model) != keep*batch {
+		t.Fatalf("model holds %d keys, want %d", len(c.model), keep*batch)
+	}
+	if v, ok := c.model[uint64(keep*batch-1)]; !ok || v != uint64(keep*batch-1)*3 {
+		t.Fatalf("last surviving key wrong: %d %v", v, ok)
+	}
+	if _, ok := c.model[uint64(keep*batch)]; ok {
+		t.Fatal("op from the torn record leaked into the model")
+	}
+}
+
+// TestCorruptSealedSegmentRefused flips one byte in a sealed (non-last)
+// segment: recovery must fail loudly rather than truncate.
+func TestCorruptSealedSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments force rotation so multiple sealed files exist.
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 4 << 10}, nil)
+	for b := 0; b < 200; b++ {
+		if _, err := l.Append(putBatch(b*16, 16)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d (%v)", len(segs), err)
+	}
+
+	// Flip a payload byte in the first (sealed) segment.
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[segHdrSize+recHdrSize+5] ^= 0x40
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	_, _, err = Open(dir, Config{Policy: SyncOff, SegmentBytes: 4 << 10}, func(uint64, []Op) {})
+	if err == nil || !strings.Contains(err.Error(), "corrupt record in sealed segment") {
+		t.Fatalf("Open = %v, want sealed-segment corruption error", err)
+	}
+}
+
+// TestCheckpointBoundsReplay checkpoints mid-stream and asserts
+// recovery loads the snapshot, skips covered segments, and replays
+// only the records after the checkpoint — the bound that keeps
+// recovery time proportional to the post-checkpoint suffix, not log
+// length.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	model := map[uint64]uint64{}
+	snapshot := func(emit func(k, v uint64) error) error {
+		for k, v := range model {
+			if err := emit(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cfg := Config{Policy: SyncOff, SegmentBytes: 8 << 10, Snapshot: snapshot}
+	l, _ := mustOpen(t, dir, cfg, nil)
+
+	applyLocal := func(ops []Op) {
+		for _, o := range ops {
+			if o.Op == OpPut {
+				model[o.Key] = o.Val
+			} else {
+				delete(model, o.Key)
+			}
+		}
+	}
+	const batches, per = 300, 16
+	for b := 0; b < batches; b++ {
+		ops := putBatch(b*per%4096, per) // overwrite keys so the model stays small
+		seq, err := l.Append(ops)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		applyLocal(ops)
+		l.NoteApplied(seq)
+		// Two checkpoints: reclaim keeps the newest two, so segments
+		// are only deleted once a second snapshot supersedes the first.
+		if b == 99 || b == 199 {
+			if err := l.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+	}
+	st := l.Stats()
+	if st.CheckpointSeq != 200 {
+		t.Fatalf("checkpoint seq %d, want 200", st.CheckpointSeq)
+	}
+	if st.SegmentsReclaimed == 0 {
+		t.Fatal("checkpoint reclaimed no segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c := newCollector()
+	l2, rec := mustOpen(t, dir, cfg, c.apply)
+	defer l2.Close()
+	if rec.CheckpointSeq != 200 {
+		t.Fatalf("recovered from checkpoint %d, want 200", rec.CheckpointSeq)
+	}
+	if rec.RecordsReplayed != batches-200 {
+		t.Fatalf("replayed %d records, want %d (checkpoint did not bound replay)", rec.RecordsReplayed, batches-200)
+	}
+	if rec.LastSeq != batches {
+		t.Fatalf("LastSeq %d, want %d", rec.LastSeq, batches)
+	}
+	if len(c.model) != len(model) {
+		t.Fatalf("recovered model %d keys, want %d", len(c.model), len(model))
+	}
+	for k, v := range model {
+		if c.model[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, c.model[k], v)
+		}
+	}
+}
+
+// TestGroupCommitInterval exercises the deferred-ack path: acks arrive
+// only after an fsync covers the batch, and the durable watermark
+// reflects it.
+func TestGroupCommitInterval(t *testing.T) {
+	var syncs atomic.Int64
+	cfg := Config{
+		Policy:   SyncInterval,
+		Interval: time.Millisecond,
+		SyncFile: func(f *os.File) error { syncs.Add(1); return f.Sync() },
+	}
+	l, _ := mustOpen(t, t.TempDir(), cfg, nil)
+	defer l.Close()
+
+	acks := make([]*ack, 20)
+	for i := range acks {
+		ops := putBatch(i*4, 4)
+		seq, err := l.Append(ops)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		l.NoteApplied(seq)
+		acks[i] = newAck()
+		l.Commit(seq, len(ops), acks[i])
+	}
+	for i, a := range acks {
+		if err := a.wait(t); err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+	}
+	if d := l.durable.Load(); d < 20 {
+		t.Fatalf("durable watermark %d after acks, want >= 20", d)
+	}
+	if syncs.Load() == 0 {
+		t.Fatal("no fsync ran before acks")
+	}
+	if p := l.pendingOps.Load(); p != 0 {
+		t.Fatalf("pendingOps %d after all acks, want 0", p)
+	}
+}
+
+// TestSyncAlwaysAcksInline: the always policy acks synchronously in
+// Commit, after a sync that covers the batch.
+func TestSyncAlwaysAcksInline(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Config{Policy: SyncAlways}, nil)
+	defer l.Close()
+	seq, err := l.Append(putBatch(0, 4))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	a := newAck()
+	l.Commit(seq, 4, a)
+	select {
+	case err := <-a.ch:
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	default:
+		t.Fatal("always-policy Commit returned before acking")
+	}
+	if l.durable.Load() < seq {
+		t.Fatalf("durable %d < seq %d after always-commit", l.durable.Load(), seq)
+	}
+}
+
+// TestFsyncFailurePoisons: a failing fsync must error queued and
+// future commits and appends (writes shed), not silently drop them.
+func TestFsyncFailurePoisons(t *testing.T) {
+	boom := errors.New("injected fsync failure")
+	fail := atomic.Bool{}
+	cfg := Config{
+		Policy:   SyncInterval,
+		Interval: time.Millisecond,
+		SyncFile: func(f *os.File) error {
+			if fail.Load() {
+				return boom
+			}
+			return f.Sync()
+		},
+	}
+	l, _ := mustOpen(t, t.TempDir(), cfg, nil)
+	fail.Store(true)
+	seq, err := l.Append(putBatch(0, 4))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	a := newAck()
+	l.Commit(seq, 4, a)
+	if err := a.wait(t); !errors.Is(err, boom) {
+		t.Fatalf("commit err = %v, want injected failure", err)
+	}
+	if err := l.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want injected failure", err)
+	}
+	if _, err := l.Append(putBatch(0, 1)); !errors.Is(err, boom) {
+		t.Fatalf("append after poison = %v, want injected failure", err)
+	}
+	// A commit registered after the failure still gets an error ack.
+	a2 := newAck()
+	l.Commit(seq, 4, a2)
+	if err := a2.wait(t); !errors.Is(err, boom) {
+		t.Fatalf("post-poison commit err = %v", err)
+	}
+	l.Close()
+}
+
+// TestLaggingBackpressure: with fsync stalled, appended-but-unsynced
+// ops accumulate and Lagging trips at SyncQueueMax.
+func TestLaggingBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	cfg := Config{
+		Policy:       SyncInterval,
+		Interval:     time.Millisecond,
+		SyncQueueMax: 32,
+		SyncFile: func(f *os.File) error {
+			if gated.Load() {
+				<-gate
+			}
+			return f.Sync()
+		},
+	}
+	l, _ := mustOpen(t, t.TempDir(), cfg, nil)
+	gated.Store(true)
+	for i := 0; i < 6; i++ {
+		seq, err := l.Append(putBatch(i*8, 8))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		l.Commit(seq, 8, newAck())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !l.Lagging() {
+		if time.Now().After(deadline) {
+			t.Fatalf("Lagging never tripped; pending=%d", l.pendingOps.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gated.Store(false)
+	close(gate)
+	deadline = time.Now().Add(2 * time.Second)
+	for l.Lagging() {
+		if time.Now().After(deadline) {
+			t.Fatalf("Lagging stuck after fsync resumed; pending=%d", l.pendingOps.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
+
+// TestRotationSealsDurable: rotation fsyncs the sealed segment under
+// every policy, so records in non-last segments are durable even with
+// fsync=off, and recovery of a multi-segment log is exact.
+func TestRotationSealsDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 2 << 10}, nil)
+	const batches = 100
+	for b := 0; b < batches; b++ {
+		if _, err := l.Append(putBatch(b*8, 8)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatal("no rotation at 2KiB segments")
+	}
+	if st.DurableSeq == 0 {
+		t.Fatal("rotation seal did not advance the durable watermark under fsync=off")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c := newCollector()
+	l2, rec := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 2 << 10}, c.apply)
+	defer l2.Close()
+	if rec.RecordsReplayed != batches || rec.SegmentsScanned < 2 {
+		t.Fatalf("recovery %+v, want %d records over >=2 segments", rec, batches)
+	}
+}
+
+// TestSequenceBreakRefused: a checksum-valid record with the wrong
+// sequence is corruption, even in the last segment.
+func TestSequenceBreakRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff}, nil)
+	for b := 0; b < 4; b++ {
+		if _, err := l.Append(putBatch(b, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite record 3 with sequence 9, recomputing its checksum.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := recHdrSize + recFixed + 2*opPutSize
+	off := segHdrSize + 2*recSize
+	forged := appendRecord(nil, 9, putBatch(2, 2))
+	copy(data[off:], forged)
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Config{Policy: SyncOff}, func(uint64, []Op) {})
+	if err == nil || !strings.Contains(err.Error(), "record seq") {
+		t.Fatalf("Open = %v, want sequence-break error", err)
+	}
+}
+
+// TestBigBatchSplits: batches beyond maxOpsPerRecord split into
+// multiple records and replay intact.
+func TestBigBatchSplits(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff}, nil)
+	n := maxOpsPerRecord + 100
+	seq, err := l.Append(putBatch(0, n))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("split batch final seq %d, want 2", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	l2, _ := mustOpen(t, dir, Config{Policy: SyncOff}, c.apply)
+	defer l2.Close()
+	if c.records != 2 || c.ops != n {
+		t.Fatalf("replayed %d records / %d ops, want 2 / %d", c.records, c.ops, n)
+	}
+}
+
+// TestDiscardedCheckpointFallsBack: a corrupt newest checkpoint is
+// skipped in favor of the older valid one.
+func TestDiscardedCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	model := map[uint64]uint64{}
+	cfg := Config{Policy: SyncOff, Snapshot: func(emit func(k, v uint64) error) error {
+		for k, v := range model {
+			if err := emit(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+	l, _ := mustOpen(t, dir, cfg, nil)
+	for b := 0; b < 10; b++ {
+		ops := putBatch(b*4, 4)
+		seq, err := l.Append(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range ops {
+			model[o.Key] = o.Val
+		}
+		l.NoteApplied(seq)
+		if b == 4 || b == 8 {
+			if err := l.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint (seq 9).
+	path := filepath.Join(dir, ckptName(9))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	l2, rec := mustOpen(t, dir, cfg, c.apply)
+	defer l2.Close()
+	if rec.CheckpointSeq != 5 || rec.CheckpointsDiscarded != 1 {
+		t.Fatalf("recovery %+v, want fallback to checkpoint 5 with 1 discarded", rec)
+	}
+	if len(c.model) != len(model) {
+		t.Fatalf("model %d keys, want %d", len(c.model), len(model))
+	}
+}
+
+// TestAppendAllocs pins the append hot path at zero allocations per
+// record: the encode buffer is pre-sized at Open and reused, per the
+// //optiql:noalloc contract on appendOne.
+func TestAppendAllocs(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Config{Policy: SyncOff, SegmentBytes: 1 << 40}, nil)
+	defer l.Close()
+	ops := putBatch(0, 64)
+	if _, err := l.Append(ops); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := l.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Append allocates %.1f objects per 64-op batch, want 0", avg)
+	}
+}
+
+// TestCheckpointReclaimsOldCheckpoints: the newest two checkpoint
+// files survive (the older is the corruption fallback); anything
+// before them is reclaimed.
+func TestCheckpointReclaimsOldCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Policy: SyncOff, Snapshot: func(emit func(k, v uint64) error) error {
+		return emit(1, 2)
+	}}
+	l, _ := mustOpen(t, dir, cfg, nil)
+	for b := 0; b < 3; b++ {
+		seq, err := l.Append(putBatch(0, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.NoteApplied(seq)
+		if err := l.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cks []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ckpt-") {
+			cks = append(cks, e.Name())
+		}
+	}
+	if len(cks) != 2 || cks[0] != ckptName(2) || cks[1] != ckptName(3) {
+		t.Fatalf("checkpoint files after 3 checkpoints: %v, want [%s %s]", cks, ckptName(2), ckptName(3))
+	}
+}
+
+// TestEmptyAppendNoop: appending nothing returns the current watermark
+// and writes no record.
+func TestEmptyAppendNoop(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Config{Policy: SyncOff}, nil)
+	defer l.Close()
+	seq, err := l.Append(nil)
+	if err != nil || seq != 0 {
+		t.Fatalf("empty append = %d, %v", seq, err)
+	}
+	if st := l.Stats(); st.AppendedRecords != 0 {
+		t.Fatalf("empty append wrote %d records", st.AppendedRecords)
+	}
+}
+
+func TestBadPolicyRejected(t *testing.T) {
+	_, _, err := Open(t.TempDir(), Config{Policy: "sometimes"}, func(uint64, []Op) {})
+	if err == nil || !strings.Contains(err.Error(), "unknown fsync policy") {
+		t.Fatalf("Open = %v, want policy error", err)
+	}
+}
+
+// TestHeaderTornLastSegment: a last segment that lost even its header
+// is discarded entirely and appends resume cleanly.
+func TestHeaderTornLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 2 << 10}, nil)
+	for b := 0; b < 40; b++ {
+		if _, err := l.Append(putBatch(b*8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastSeq := l.Stats().AppendedSeq
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >=2 segments: %d %v", len(segs), err)
+	}
+	// Chop the last segment inside its header.
+	lastSeg := segs[len(segs)-1]
+	if err := os.Truncate(filepath.Join(dir, lastSeg.name), 5); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	l2, rec := mustOpen(t, dir, Config{Policy: SyncOff, SegmentBytes: 2 << 10}, c.apply)
+	defer l2.Close()
+	if rec.TornRecords != 1 {
+		t.Fatalf("torn records %d, want 1 (the header)", rec.TornRecords)
+	}
+	if rec.LastSeq != lastSeg.firstSeq-1 {
+		t.Fatalf("LastSeq %d, want %d", rec.LastSeq, lastSeg.firstSeq-1)
+	}
+	if rec.LastSeq >= lastSeq {
+		t.Fatalf("LastSeq %d did not drop below pre-crash %d", rec.LastSeq, lastSeq)
+	}
+	seq, err := l2.Append(putBatch(0, 1))
+	if err != nil || seq != rec.LastSeq+1 {
+		t.Fatalf("resume append = %d, %v; want %d", seq, err, rec.LastSeq+1)
+	}
+	// The discarded file must not linger.
+	if _, err := os.Stat(filepath.Join(dir, lastSeg.name)); err == nil {
+		fi, _ := os.Stat(filepath.Join(dir, lastSeg.name))
+		if fi.Size() != 0 && fi.Size() > segHdrSize {
+			t.Fatalf("torn header segment still holds %d bytes", fi.Size())
+		}
+	}
+}
