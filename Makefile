@@ -34,7 +34,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkLookup|BenchmarkARTLookup|BenchmarkOptimisticRead' -benchmem -count 6 ./internal/btree/ ./internal/art/ ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkLookup|BenchmarkARTLookup|BenchmarkOptimisticRead|BenchmarkLeafFind|BenchmarkFP|BenchmarkChildIndex' -benchmem -count 6 ./internal/btree/ ./internal/art/ ./internal/core/
 
 clean:
 	rm -rf bin

@@ -158,3 +158,49 @@ func badLoopDefer(p *KV) {
 		defer sink(p) // want "defer inside a loop in noalloc function badLoopDefer allocates per iteration"
 	}
 }
+
+// goodSwarKernel is the SWAR search-kernel idiom (internal/simd): word
+// loads via shifts, bit tricks and branchless index arithmetic over a
+// caller-owned byte array — nothing that can touch the heap.
+//
+//optiql:noalloc
+func goodSwarKernel(fp []byte, b byte) uint64 {
+	bcast := uint64(b) * 0x0101010101010101
+	var out uint64
+	n := len(fp) &^ 7
+	for i := 0; i < n; i += 8 {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(fp[i+j]) << (8 * j)
+		}
+		x := w ^ bcast
+		m := ^(((x & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f) | x | 0x7f7f7f7f7f7f7f7f)
+		out |= ((m >> 7 * 0x0102040810204080) >> 56 & 0xff) << i
+	}
+	return out
+}
+
+// goodFpMaintain is the fingerprint-maintenance idiom (internal/btree
+// fp.go): shifting a node-owned byte array in place alongside its key
+// array — copies within preallocated storage only.
+//
+//optiql:noalloc
+func goodFpMaintain(fps []byte, keys []uint64, i, cnt int, k uint64) {
+	copy(fps[i+1:cnt+1], fps[i:cnt])
+	copy(keys[i+1:cnt+1], keys[i:cnt])
+	fps[i] = byte((k * 0x9E3779B97F4A7C15) >> 56)
+	keys[i] = k
+}
+
+// badFpRebuild is the mistake the in-place idiom prevents: rebuilding
+// the fingerprint array into a fresh allocation on the maintenance
+// path instead of mutating the node's own storage.
+//
+//optiql:noalloc
+func badFpRebuild(keys []uint64, cnt int) []byte {
+	fps := make([]byte, (cnt+7)&^7) // want "make in noalloc function badFpRebuild"
+	for i := 0; i < cnt; i++ {
+		fps[i] = byte((keys[i] * 0x9E3779B97F4A7C15) >> 56)
+	}
+	return fps
+}

@@ -1,0 +1,63 @@
+// Package btreenode mirrors the fingerprint-carrying B+-tree size
+// classes (internal/btree/node.go): a header, a SWAR-padded
+// fingerprint array placed directly after it, then the inline key and
+// value arrays, padded out to a cache-line multiple. The good variant
+// lands exactly on the boundary; the bad variants show what the check
+// catches — adding the fingerprint array without re-padding, and
+// dropping the trailing pad.
+package btreenode
+
+// header stands in for the 144-byte node header (lock interface,
+// flags, count, slice headers, prefix metadata).
+type header struct {
+	lock  any
+	leaf  bool
+	shift uint8
+	count int
+	keys  []uint64
+	vals  []uint64
+	kids  []uintptr
+	next  uintptr
+	fps   []byte
+	pfx   uint64
+}
+
+// leafOK is the 384-byte hot class: 144-byte header + 16 fingerprint
+// bytes + 14 keys + 14 values = exactly 6 cache lines, no pad needed.
+//
+//optiql:cacheline
+type leafOK struct {
+	n    header
+	fp   [16]byte
+	k, v [14]uint64
+}
+
+// leafPadOK is a larger class whose fp array pushes the struct off the
+// boundary; the trailing pad brings it back to a 64-byte multiple.
+//
+//optiql:cacheline
+type leafPadOK struct {
+	n    header
+	fp   [32]byte
+	k, v [30]uint64
+	_    [48]byte
+}
+
+// leafBadFP added the fingerprint array without recomputing the pad.
+//
+//optiql:cacheline
+type leafBadFP struct { // want "struct leafBadFP is 664 bytes, not a non-zero multiple of 64"
+	n    header
+	fp   [32]byte
+	k, v [30]uint64
+	_    [8]byte
+}
+
+// leafBadNoPad dropped the trailing pad entirely.
+//
+//optiql:cacheline
+type leafBadNoPad struct { // want "struct leafBadNoPad is 656 bytes, not a non-zero multiple of 64"
+	n    header
+	fp   [32]byte
+	k, v [30]uint64
+}

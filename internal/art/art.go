@@ -40,8 +40,10 @@ package art
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"optiql/internal/locks"
+	"optiql/internal/simd"
 )
 
 type kind uint8
@@ -328,14 +330,25 @@ func (n *node) clampedChildren() int {
 
 // findChild returns the child slot for branch byte b. Safe under racy
 // reads; the result must be validated by the caller.
+//
+//optiql:noalloc
 func (n *node) findChild(b byte) ref {
 	switch n.kind {
-	case kind4, kind16:
+	case kind4:
 		cnt := n.clampedChildren()
 		for i := 0; i < cnt; i++ {
 			if n.keys[i] == b {
 				return n.children[i]
 			}
+		}
+	case kind16:
+		// SWAR over the 16 branch bytes — the parallel byte comparison
+		// the original ART paper assumes SIMD for on Node16. A torn mask
+		// can only select a wrong slot, which version validation rejects.
+		m := uint64(simd.Match16(n.keys, b))
+		if m &= 1<<uint(n.clampedChildren()) - 1; m != 0 {
+			i, _ := simd.NextMatch(m)
+			return n.children[i]
 		}
 	case kind48:
 		if idx := n.keys[b]; idx != 0 && int(idx) <= len(n.children) {
@@ -345,6 +358,20 @@ func (n *node) findChild(b byte) ref {
 		return n.children[b]
 	}
 	return ref{}
+}
+
+// prefetchNode warms the first cache line of a node's header ahead of
+// its lock acquisition. The lock field is an interface to a separate
+// allocation, so nothing touches the header itself until checkPrefix
+// runs after the acquire; prefetching overlaps that header miss with
+// the lock-word access. Purely advisory and racy by design (see
+// simd.Prefetch); compiled out under the race detector.
+//
+//optiql:noalloc
+func prefetchNode(n *node) {
+	if n != nil {
+		simd.Prefetch(unsafe.Pointer(n))
+	}
 }
 
 // full reports whether the node has no free slot (never true for

@@ -22,6 +22,11 @@ func FuzzARTOps(f *testing.F) {
 	f.Add([]byte{1, 1, 5, 1, 5, 5, 5, 7, 9, 6, 5, 1, 6})
 	// Dense/sparse interleaving over the same small byte range.
 	f.Add([]byte{2, 0, 1, 1, 1, 0, 2, 1, 2, 4, 1, 5, 2, 10, 0, 11, 0})
+	// SWAR edge lanes: drive one node through the kind ladder with
+	// branch bytes at the byte-comparison boundaries (0x00, 0x01, 0x7f,
+	// 0x80, 0xfe, 0xff) where an inexact zero detector would misfire,
+	// then look up and delete across them at full Node16 occupancy.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 127, 0, 128, 0, 254, 0, 255, 0, 63, 0, 64, 0, 65, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8, 3, 128, 3, 255, 3, 0, 2, 127, 3, 128, 3, 126, 0, 9, 3, 9, 8, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 1 {
 			return

@@ -59,6 +59,7 @@ first:
 			return val, true
 		}
 		child := r.n
+		prefetchNode(child)
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
 			goto retry

@@ -195,6 +195,9 @@ func (t *Tree) scanWalk(c *locks.Ctx, n *node, level int, resume uint64, onBound
 			continue
 		}
 		if s.r.n != nil {
+			// Warm the child's header before the recursion acquires its
+			// lock (the lock object is a separate allocation).
+			prefetchNode(s.r.n)
 			if err := t.scanWalk(c, s.r.n, pos+1, resume, childOnBoundary, limit, out, sc, depth+1); err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"fmt"
 	"testing"
 
 	"optiql/internal/core"
@@ -15,30 +16,35 @@ import (
 // touch the heap at all.
 func TestLookupAllocs(t *testing.T) {
 	for _, scheme := range []string{"OptiQL", "OptLock", "MCS-RW"} {
-		t.Run(scheme, func(t *testing.T) {
-			indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
-			tr, err := New(Config{Scheme: locks.MustByName(scheme)})
-			if err != nil {
-				t.Fatal(err)
-			}
-			pool := core.NewPool(16)
-			c := locks.NewCtx(pool, 8)
-			defer c.Close()
-			for k := uint64(0); k < 10000; k++ {
-				tr.Insert(c, k, k*3)
-			}
-			k := uint64(0)
-			allocs := testing.AllocsPerRun(1000, func() {
-				v, ok := tr.Lookup(c, k)
-				if !ok || v != k*3 {
-					t.Fatalf("Lookup(%d) = (%d, %v)", k, v, ok)
+		// Node sizes cover the kernel dispatch tiers: linear classes
+		// (256), branchless binary + prefix truncation (1024, 4096) and
+		// the heap fallback beyond the largest class (8192).
+		for _, nodeSize := range []int{256, 1024, 4096, 8192} {
+			t.Run(fmt.Sprintf("%s/%d", scheme, nodeSize), func(t *testing.T) {
+				indextest.SkipIfOptimisticRace(t, locks.MustByName(scheme))
+				tr, err := New(Config{Scheme: locks.MustByName(scheme), NodeSize: nodeSize})
+				if err != nil {
+					t.Fatal(err)
 				}
-				k = (k + 7919) % 10000
+				pool := core.NewPool(16)
+				c := locks.NewCtx(pool, 8)
+				defer c.Close()
+				for k := uint64(0); k < 10000; k++ {
+					tr.Insert(c, k, k*3)
+				}
+				k := uint64(0)
+				allocs := testing.AllocsPerRun(1000, func() {
+					v, ok := tr.Lookup(c, k)
+					if !ok || v != k*3 {
+						t.Fatalf("Lookup(%d) = (%d, %v)", k, v, ok)
+					}
+					k = (k + 7919) % 10000
+				})
+				if allocs != 0 {
+					t.Errorf("Lookup allocates %.1f objects per op, want 0", allocs)
+				}
 			})
-			if allocs != 0 {
-				t.Errorf("Lookup allocates %.1f objects per op, want 0", allocs)
-			}
-		})
+		}
 	}
 }
 
@@ -96,31 +102,41 @@ func TestTracedLookupAllocs(t *testing.T) {
 }
 
 // TestScanAllocs pins the scan alloc budget: with a caller-provided
-// output buffer the sibling-chain walk stages batches on the stack and
-// appends in place, so steady-state scans must not allocate.
+// output buffer the sibling-chain walk stages batches on the stack —
+// or, for fanouts beyond the stack scratch, in the worker Ctx's
+// lazily-grown staging buffer — so steady-state scans must not
+// allocate at any fanout. (AllocsPerRun's warm-up round absorbs the
+// one-time staging growth, exactly like production steady state.)
 func TestScanAllocs(t *testing.T) {
-	scheme := locks.MustByName("OptiQL")
-	indextest.SkipIfOptimisticRace(t, scheme)
-	tr, err := New(Config{Scheme: scheme})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pool := core.NewPool(16)
-	c := locks.NewCtx(pool, 8)
-	defer c.Close()
-	for k := uint64(0); k < 10000; k++ {
-		tr.Insert(c, k, k)
-	}
-	buf := make([]KV, 0, 64)
-	k := uint64(0)
-	allocs := testing.AllocsPerRun(1000, func() {
-		out := tr.Scan(c, k, 16, buf[:0])
-		if len(out) != 16 {
-			t.Fatalf("Scan(%d) returned %d pairs", k, len(out))
-		}
-		k = (k + 7919) % 9000
-	})
-	if allocs != 0 {
-		t.Errorf("Scan allocates %.1f objects per op, want 0", allocs)
+	for _, nodeSize := range []int{256, 4096, 8192} {
+		t.Run(fmt.Sprintf("%d", nodeSize), func(t *testing.T) {
+			scheme := locks.MustByName("OptiQL")
+			indextest.SkipIfOptimisticRace(t, scheme)
+			tr, err := New(Config{Scheme: scheme, NodeSize: nodeSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := core.NewPool(16)
+			c := locks.NewCtx(pool, 8)
+			defer c.Close()
+			for k := uint64(0); k < 10000; k++ {
+				tr.Insert(c, k, k)
+			}
+			buf := make([]KV, 0, 512)
+			k := uint64(0)
+			allocs := testing.AllocsPerRun(1000, func() {
+				// Cross a leaf boundary even at the largest fanouts so the
+				// staging buffer is exercised across the sibling walk.
+				want := tr.Fanout() + 2
+				out := tr.Scan(c, k, want, buf[:0])
+				if len(out) != want {
+					t.Fatalf("Scan(%d) returned %d pairs, want %d", k, len(out), want)
+				}
+				k = (k + 7919) % 9000
+			})
+			if allocs != 0 {
+				t.Errorf("Scan allocates %.1f objects per op, want 0", allocs)
+			}
+		})
 	}
 }

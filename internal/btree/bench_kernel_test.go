@@ -1,0 +1,130 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"optiql/internal/simd"
+)
+
+// Node-local kernel microbenchmarks, one sub-benchmark per size class
+// (fanouts 14..254 inline, 510 heap fallback). These isolate the
+// search kernels from the descent so a benchstat diff attributes a
+// regression to the kernel that caused it: leafGet (fingerprint probe
+// + full-key confirm), the raw SWAR fingerprint match, fingerprint
+// maintenance shifts, and the prefix-truncated separator search.
+
+// benchClasses pairs each size-class fanout with its class index; the
+// final entry exercises the heap fallback beyond the largest class.
+var benchClasses = []struct {
+	fanout int
+	class  int
+}{
+	{14, 0}, {30, 1}, {62, 2}, {126, 3}, {254, 4}, {510, classHeap},
+}
+
+// benchLeaf builds a full leaf of the given class with sorted keys
+// whose fingerprints spread across the byte space.
+func benchLeaf(class, fanout int) *node {
+	n := makeLeaf(class, fanout)
+	n.leaf = true
+	for i := 0; i < fanout; i++ {
+		k := uint64(i)<<32 | uint64(i)*2654435761
+		n.keys[i] = k
+		n.values[i] = k * 3
+		n.fps[i] = fpHash(k)
+	}
+	n.count = fanout
+	return n
+}
+
+// benchInner builds a full inner node whose separators share their top
+// byte, so refreshInnerMeta computes a real shared prefix and the
+// benchmark takes the prefix-truncated discriminating-byte path.
+func benchInner(class, fanout int) *node {
+	n := makeInner(class, fanout)
+	for i := 0; i < fanout; i++ {
+		n.keys[i] = 0xAB<<56 | uint64(i)<<24 | uint64(i)*2654435761&0xFFFFFF
+	}
+	n.count = fanout
+	n.refreshInnerMeta()
+	return n
+}
+
+// BenchmarkLeafFind measures the point-lookup kernel over a full leaf
+// of each size class: SWAR fingerprint probe, candidate confirm by
+// full-key compare, hit every time.
+func BenchmarkLeafFind(b *testing.B) {
+	for _, bc := range benchClasses {
+		b.Run(fmt.Sprintf("%d", bc.fanout), func(b *testing.B) {
+			n := benchLeaf(bc.class, bc.fanout)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := uint64(i) % uint64(bc.fanout)
+				if _, ok := n.leafGet(n.keys[j]); !ok {
+					b.Fatal("present key not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFPProbe measures the raw SWAR fingerprint sweep alone — the
+// filter cost a probe pays before any full-key compare — by matching a
+// byte that hits nothing.
+func BenchmarkFPProbe(b *testing.B) {
+	for _, bc := range benchClasses {
+		b.Run(fmt.Sprintf("%d", bc.fanout), func(b *testing.B) {
+			n := benchLeaf(bc.class, bc.fanout)
+			for i := range n.fps { // padded tail included: odd bytes never match 0
+				n.fps[i] = byte(i) | 1
+			}
+			b.ResetTimer()
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				for base := 0; base < bc.fanout; base += 64 {
+					acc += simd.Match64(n.fps[base:], 0)
+				}
+			}
+			if acc != 0 {
+				b.Fatal("probe byte unexpectedly matched")
+			}
+		})
+	}
+}
+
+// BenchmarkFPMaintain measures the fingerprint maintenance pair on the
+// write path: one mid-node insert shift plus the matching delete shift,
+// the incremental cost fingerprints add to every leaf mutation.
+func BenchmarkFPMaintain(b *testing.B) {
+	for _, bc := range benchClasses {
+		b.Run(fmt.Sprintf("%d", bc.fanout), func(b *testing.B) {
+			n := benchLeaf(bc.class, bc.fanout)
+			mid, cnt := bc.fanout/2, bc.fanout-1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.fpInsert(mid, cnt, uint64(i))
+				n.fpDelete(mid, cnt+1)
+			}
+		})
+	}
+}
+
+// BenchmarkChildIndex measures the separator search over a full inner
+// node of each size class: prefix shortcut, discriminating-byte band,
+// then the full-key compare within the band.
+func BenchmarkChildIndex(b *testing.B) {
+	for _, bc := range benchClasses {
+		b.Run(fmt.Sprintf("%d", bc.fanout), func(b *testing.B) {
+			n := benchInner(bc.class, bc.fanout)
+			b.ResetTimer()
+			var acc int
+			for i := 0; i < b.N; i++ {
+				acc += n.childIndex(n.keys[uint64(i)%uint64(bc.fanout)])
+			}
+			if acc < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"optiql/internal/locks"
+	"optiql/internal/simd"
 )
 
 // headerBytes models the per-node header (lock word, count, type,
@@ -73,6 +74,10 @@ type Tree struct {
 type node struct {
 	lock locks.Lock
 	leaf bool
+	// pshift encodes the inner node's shared separator prefix for the
+	// truncated descent search: the separators agree on their top
+	// (64-pshift)/8 bytes (fp.go). Read racily; any value is shift-safe.
+	pshift uint8
 	// count is the number of live keys. It is read racily by optimistic
 	// traversals and therefore always used clamped; version validation
 	// rejects any result derived from a torn view.
@@ -81,6 +86,15 @@ type node struct {
 	values   []uint64 // leaves only
 	children []*node  // inner nodes only; count+1 live entries
 	next     *node    // leaves only: right sibling, for scans
+	// fps aliases the node's inline fingerprint array (node.go),
+	// padded to whole SWAR words. Leaves: fps[i] = fpHash(keys[i]).
+	// Inner nodes: fps[i] = discriminating byte of separator i under
+	// prefix truncation. Maintained under the exclusive lock alongside
+	// the key array (fp.go).
+	fps []byte
+	// pfx is the inner node's shared separator prefix value,
+	// keys[*] >> pshift.
+	pfx uint64
 }
 
 // New creates an empty tree under the given configuration.
@@ -151,38 +165,64 @@ func (n *node) clampedCount() int {
 	return c
 }
 
+// linearCap is the largest fanout searched by the unrolled branch-free
+// linear kernels; larger classes use the branchless binary kernels and
+// (for inner nodes) the prefix-truncated byte search. Covers size
+// classes 14 and 30, whose whole key array is one to four sequential
+// cache lines — exactly where a linear sweep beats binary probing.
+const linearCap = 30
+
 // childIndex returns the descent slot for k: the first i with
-// k < keys[i], so children[i] covers k. Safe under racy reads.
+// k < keys[i], so children[i] covers k. Safe under racy reads: every
+// kernel clamps its bounds, torn prefix metadata only misroutes the
+// descent (caught by version validation), and Go defines oversized
+// shifts as 0 so a garbage pshift cannot fault.
+//
+//optiql:noalloc
 func (n *node) childIndex(k uint64) int {
-	lo, hi := 0, n.clampedCount()
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if k < n.keys[mid] {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
+	cnt := n.clampedCount()
+	if len(n.keys) <= linearCap {
+		return simd.CountLessEq(n.keys, cnt, k)
 	}
-	return lo
+	if ps := n.pshift; ps >= 8 && ps <= 64 {
+		// Prefix-truncated search: route on the shared prefix, then
+		// binary-search the 1-byte discriminators, then full-compare
+		// only the run of equal discriminator bytes.
+		if kc := k >> ps; kc != n.pfx {
+			if kc < n.pfx {
+				return 0
+			}
+			return cnt
+		}
+		kb := byte(k >> (ps - 8))
+		lo := simd.LowerBoundBytes(n.fps, cnt, kb)
+		hi := simd.UpperBoundBytes(n.fps, cnt, kb)
+		if hi < lo {
+			hi = lo // torn discriminators; validation will reject
+		}
+		return lo + simd.UpperBound(n.keys[lo:], hi-lo, k)
+	}
+	return simd.UpperBound(n.keys, cnt, k)
 }
 
 // lowerBound returns the first index with keys[i] >= k among the live
 // keys. Safe under racy reads.
+//
+//optiql:noalloc
 func (n *node) lowerBound(k uint64) int {
-	lo, hi := 0, n.clampedCount()
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if n.keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	cnt := n.clampedCount()
+	if len(n.keys) <= linearCap {
+		return simd.CountLess(n.keys, cnt, k)
 	}
-	return lo
+	return simd.LowerBound(n.keys, cnt, k)
 }
 
 // leafFind returns the slot of k and whether it is present. Safe under
-// racy reads.
+// racy reads. Point lookups use leafGet (fp.go) instead, which probes
+// the fingerprint array; leafFind is the position-returning form the
+// write paths and scans need.
+//
+//optiql:noalloc
 func (n *node) leafFind(k uint64) (int, bool) {
 	i := n.lowerBound(k)
 	return i, i < n.clampedCount() && n.keys[i] == k

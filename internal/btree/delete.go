@@ -90,6 +90,7 @@ func (t *Tree) deleteAndRebalance(c *locks.Ctx, stack []held, childIdx []int, k 
 	}
 	copy(leaf.keys[i:leaf.count-1], leaf.keys[i+1:leaf.count])
 	copy(leaf.values[i:leaf.count-1], leaf.values[i+1:leaf.count])
+	leaf.fpDelete(i, leaf.count)
 	leaf.count--
 	t.size.Add(-1)
 
@@ -183,16 +184,20 @@ func (t *Tree) rebalance(c *locks.Ctx, parent *node, slot int, h *held) (merged 
 }
 
 // borrowFromRight moves the right sibling's first entry into n and
-// refreshes the separator.
+// refreshes the separator (plus the fingerprint/prefix metadata of
+// every node whose keys changed).
 func (t *Tree) borrowFromRight(parent *node, slot int, n, sib *node) {
 	if n.leaf {
 		n.keys[n.count] = sib.keys[0]
 		n.values[n.count] = sib.values[0]
+		n.fps[n.count] = sib.fps[0]
 		n.count++
 		copy(sib.keys[0:sib.count-1], sib.keys[1:sib.count])
 		copy(sib.values[0:sib.count-1], sib.values[1:sib.count])
+		sib.fpDelete(0, sib.count)
 		sib.count--
 		parent.keys[slot] = sib.keys[0]
+		parent.refreshInnerMeta()
 		return
 	}
 	// Inner: rotate through the parent separator.
@@ -203,6 +208,9 @@ func (t *Tree) borrowFromRight(parent *node, slot int, n, sib *node) {
 	copy(sib.keys[0:sib.count-1], sib.keys[1:sib.count])
 	copy(sib.children[0:sib.count], sib.children[1:sib.count+1])
 	sib.count--
+	n.refreshInnerMeta()
+	sib.refreshInnerMeta()
+	parent.refreshInnerMeta()
 }
 
 // borrowFromLeft moves the left sibling's last entry into n and
@@ -211,11 +219,13 @@ func (t *Tree) borrowFromLeft(parent *node, slot int, n, sib *node) {
 	if n.leaf {
 		copy(n.keys[1:n.count+1], n.keys[0:n.count])
 		copy(n.values[1:n.count+1], n.values[0:n.count])
+		n.fpInsert(0, n.count, sib.keys[sib.count-1])
 		n.keys[0] = sib.keys[sib.count-1]
 		n.values[0] = sib.values[sib.count-1]
 		n.count++
 		sib.count--
 		parent.keys[slot-1] = n.keys[0]
+		parent.refreshInnerMeta()
 		return
 	}
 	copy(n.keys[1:n.count+1], n.keys[0:n.count])
@@ -225,6 +235,9 @@ func (t *Tree) borrowFromLeft(parent *node, slot int, n, sib *node) {
 	n.count++
 	parent.keys[slot-1] = sib.keys[sib.count-1]
 	sib.count--
+	n.refreshInnerMeta()
+	sib.refreshInnerMeta()
+	parent.refreshInnerMeta()
 }
 
 // mergeRightInto folds right (parent.children[slot+1]) into left
@@ -239,6 +252,7 @@ func (t *Tree) mergeRightInto(parent *node, slot int, left, right *node) {
 	if left.leaf {
 		copy(left.keys[left.count:left.count+right.count], right.keys[:right.count])
 		copy(left.values[left.count:left.count+right.count], right.values[:right.count])
+		copy(left.fps[left.count:left.count+right.count], right.fps[:right.count])
 		left.count += right.count
 		right.count = 0
 		left.next = right.next
@@ -248,9 +262,11 @@ func (t *Tree) mergeRightInto(parent *node, slot int, left, right *node) {
 		copy(left.children[left.count+1:left.count+2+right.count], right.children[:right.count+1])
 		left.count += right.count + 1
 		right.count = 0
+		left.refreshInnerMeta()
 	}
 	// Remove separator `slot` and the right child pointer from parent.
 	copy(parent.keys[slot:parent.count-1], parent.keys[slot+1:parent.count])
 	copy(parent.children[slot+1:parent.count], parent.children[slot+2:parent.count+1])
 	parent.count--
+	parent.refreshInnerMeta()
 }

@@ -1,0 +1,111 @@
+package btree
+
+import (
+	"math/bits"
+
+	"optiql/internal/simd"
+)
+
+// Fingerprints and prefix truncation (DESIGN §14).
+//
+// Leaves keep fps[i] = fpHash(keys[i]): a 1-byte hash scanned a word
+// at a time by the SWAR kernel, so a point lookup filters 8 slots per
+// comparison and touches full keys only for the (usually zero or one)
+// fingerprint hits. Inner nodes reuse the same array for the
+// discriminating bytes of a prefix-truncated separator search: all
+// separators in a node share their leading pshift-derived bytes, so
+// the descent compares one byte per separator and falls back to full
+// keys only within the run of equal discriminating bytes.
+//
+// Both arrays are maintained strictly under the node's exclusive lock,
+// in the same critical section as the key array they shadow. Racy
+// optimistic readers may observe torn or stale bytes; that only ever
+// produces wrong *candidates* (filtered by the full-key compare) or a
+// wrong slot (rejected by version validation at release), never a
+// memory-safety violation — every kernel clamps its bounds.
+
+// fpMult is the 64-bit golden-ratio (Fibonacci hashing) multiplier;
+// the top byte of k*fpMult mixes all input bits, so dense and sparse
+// key sets alike spread across the 256 fingerprint values.
+const fpMult = 0x9E3779B97F4A7C15
+
+// fpHash returns the 1-byte fingerprint of a key.
+//
+//optiql:noalloc
+func fpHash(k uint64) byte {
+	return byte((k * fpMult) >> 56)
+}
+
+// leafGet is the point-lookup kernel: probe the fingerprint array for
+// candidates, confirm by full-key compare. Safe under racy reads.
+//
+//optiql:noalloc
+func (n *node) leafGet(k uint64) (uint64, bool) {
+	cnt := n.clampedCount()
+	b := fpHash(k)
+	for base := 0; base < cnt; base += 64 {
+		m := simd.Match64(n.fps[base:], b)
+		if live := cnt - base; live < 64 {
+			m &= 1<<uint(live) - 1
+		}
+		for m != 0 {
+			var j int
+			j, m = simd.NextMatch(m)
+			if i := base + j; n.keys[i] == k {
+				return n.values[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// fpInsert shifts fps[i:cnt] one slot right and writes k's
+// fingerprint at i, mirroring the key-array shift of an insert. The
+// caller holds the node exclusively.
+//
+//optiql:noalloc
+func (n *node) fpInsert(i, cnt int, k uint64) {
+	copy(n.fps[i+1:cnt+1], n.fps[i:cnt])
+	n.fps[i] = fpHash(k)
+}
+
+// fpDelete shifts fps[i+1:cnt] one slot left, mirroring the key-array
+// shift of a delete. The caller holds the node exclusively.
+//
+//optiql:noalloc
+func (n *node) fpDelete(i, cnt int) {
+	copy(n.fps[i:cnt-1], n.fps[i+1:cnt])
+}
+
+// refreshInnerMeta recomputes an inner node's prefix metadata and
+// discriminating bytes from its live separators. Called under the
+// exclusive lock after every separator mutation (insert, split,
+// borrow, merge). O(count), but separator mutations only happen on
+// SMOs, which are rare next to descents.
+//
+// pshift encodes the shared-prefix length: the separators agree on
+// their top (64-pshift)/8 bytes, pfx holds that shared value, and
+// fps[i] is the first byte below the prefix — the byte that actually
+// discriminates separator i. With no shared prefix pshift is 64, and
+// because Go defines x>>64 == 0 the pfx shortcut in childIndex
+// compares 0 == 0 and self-disables.
+//
+//optiql:noalloc
+func (n *node) refreshInnerMeta() {
+	cnt := n.count
+	if cnt <= 0 {
+		n.pshift = 64
+		n.pfx = 0
+		return
+	}
+	pb := bits.LeadingZeros64(n.keys[0]^n.keys[cnt-1]) / 8
+	if pb > 7 {
+		pb = 7
+	}
+	ps := uint8(64 - 8*pb)
+	n.pshift = ps
+	n.pfx = n.keys[0] >> ps
+	for i := 0; i < cnt; i++ {
+		n.fps[i] = byte(n.keys[i] >> (ps - 8))
+	}
+}

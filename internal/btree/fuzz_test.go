@@ -25,13 +25,27 @@ func FuzzBTreeOps(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 5, 0, 5, 1, 5, 3, 9, 4, 5, 5, 0, 2, 5})
 	// Scheme 3, tiny nodes, saw-tooth population.
 	f.Add([]byte{3, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 1, 2, 3, 2, 5, 0, 1})
+	// Fingerprint-collision-heavy: the byte-key pairs (14,247), (23,167),
+	// (10,243) and (1,234) collide under fpHash, so the leaf probe must
+	// reject same-fingerprint candidates by full-key compare — including
+	// after one partner of each pair is deleted.
+	f.Add([]byte{0, 2, 0, 14, 0, 247, 0, 23, 0, 167, 0, 10, 0, 243, 3, 14, 3, 247, 2, 14, 3, 247, 0, 1, 0, 234, 3, 1, 3, 234, 4, 0})
+	// Same collision program on a heap-class tree (fanout beyond the
+	// largest size class, fingerprints in heap slices).
+	f.Add([]byte{0, 7, 0, 14, 0, 247, 0, 23, 0, 167, 3, 14, 2, 247, 3, 14, 3, 247, 4, 0, 5, 0})
+	// Largest inline class: enough inserts to split a 254-fanout leaf is
+	// out of reach for a short program, but deep per-class search paths
+	// still differ (branchless binary vs linear), so pin class 4 too.
+	f.Add([]byte{1, 6, 0, 5, 0, 238, 3, 5, 3, 238, 2, 5, 3, 238, 4, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return
 		}
 		scheme := locks.MustByName(fuzzSchemes[int(data[0])%len(fuzzSchemes)])
-		// Node sizes 64..256: fanouts 4, 8, 12, 16 with 16-byte entries.
-		nodeSize := 64 + int(data[1]%4)*64
+		// Node sizes 64..8192: fanouts 4, 6, 14, 30, 62, 126, 254, 510 —
+		// every inline size class (and its search-kernel dispatch) plus
+		// the heap fallback beyond the largest class.
+		nodeSize := 64 << (data[1] % 8)
 		tr, err := New(Config{Scheme: scheme, NodeSize: nodeSize})
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,9 @@
 package btree
 
-import "testing"
+import (
+	"math/bits"
+	"testing"
+)
 
 // checkInvariants walks the quiescent tree white-box and verifies the
 // structural invariants every operation must preserve:
@@ -9,7 +12,10 @@ import "testing"
 //   - child separator ranges respected,
 //   - all leaves at the same depth,
 //   - the leaf sibling chain visits exactly the tree's leaves in order,
-//   - Len() equals the number of stored pairs.
+//   - Len() equals the number of stored pairs,
+//   - leaf fingerprints match fpHash of their keys slot for slot,
+//   - inner prefix metadata (pshift/pfx) and discriminating bytes match
+//     a from-scratch recomputation over the live separators.
 func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
 	root := tr.root.Load()
@@ -42,12 +48,32 @@ func checkInvariants(t *testing.T, tr *Tree) {
 			} else if depth != leafDepth {
 				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
 			}
+			for i := 0; i < n.count; i++ {
+				if n.fps[i] != fpHash(n.keys[i]) {
+					t.Fatalf("leaf fingerprint %d stale: fps=%#x, want fpHash(%d)=%#x", i, n.fps[i], n.keys[i], fpHash(n.keys[i]))
+				}
+			}
 			leaves = append(leaves, n)
 			total += n.count
 			return
 		}
 		if n != root && n.count == 0 {
 			t.Fatal("non-root inner node with zero keys")
+		}
+		if n.count > 0 {
+			pb := bits.LeadingZeros64(n.keys[0]^n.keys[n.count-1]) / 8
+			if pb > 7 {
+				pb = 7
+			}
+			ps := uint8(64 - 8*pb)
+			if n.pshift != ps || n.pfx != n.keys[0]>>ps {
+				t.Fatalf("inner prefix metadata stale: pshift=%d pfx=%#x, want pshift=%d pfx=%#x", n.pshift, n.pfx, ps, n.keys[0]>>ps)
+			}
+			for i := 0; i < n.count; i++ {
+				if n.fps[i] != byte(n.keys[i]>>(ps-8)) {
+					t.Fatalf("inner discriminating byte %d stale: fps=%#x, want %#x (key %#x)", i, n.fps[i], byte(n.keys[i]>>(ps-8)), n.keys[i])
+				}
+			}
 		}
 		for i := 0; i <= n.count; i++ {
 			child := n.children[i]

@@ -14,11 +14,24 @@ import "optiql/internal/locks"
 // optimistic readers always see a stable view of where the arrays
 // live.
 //
+// Each class also carries an inline fingerprint array (fp), placed
+// directly after the header so a leaf probe touches only the leading
+// cache lines: header, fingerprints, then at most one or two key
+// slots confirmed by full compare (fp.go). The array is padded to a
+// multiple of 8 bytes because the SWAR match kernel consumes whole
+// words. Every struct is padded to a cache-line multiple and checked
+// by the padalign analyzer, so the fp/key/value boundaries stay where
+// the layout comments claim across header edits.
+//
 // classCaps mirrors the paper's node-size study (Figure 11): 256-byte
 // nodes (fanout 14, the evaluation default) up to 4 KiB (fanout 254).
 // Configured fanouts above the largest class fall back to heap slices
 // — correct, just not single-allocation.
 var classCaps = [...]int{14, 30, 62, 126, 254}
+
+// classFPCaps are the fingerprint-array capacities per class: the
+// fanout rounded up to a whole number of SWAR words.
+var classFPCaps = [...]int{16, 32, 64, 128, 256}
 
 // maxClassCap is the largest inline fanout; scan paths size their
 // stack scratch off it.
@@ -36,112 +49,159 @@ func classFor(fanout int) int {
 	return classHeap
 }
 
-// One struct per (class, role). The 256-byte class (leaf14/inner14) is
-// the hot one; the node header plus the first keys fit in two cache
-// lines.
-type (
-	leaf14 struct {
-		n    node
-		k, v [14]uint64
-	}
-	leaf30 struct {
-		n    node
-		k, v [30]uint64
-	}
-	leaf62 struct {
-		n    node
-		k, v [62]uint64
-	}
-	leaf126 struct {
-		n    node
-		k, v [126]uint64
-	}
-	leaf254 struct {
-		n    node
-		k, v [254]uint64
-	}
-	inner14 struct {
-		n node
-		k [14]uint64
-		c [15]*node
-	}
-	inner30 struct {
-		n node
-		k [30]uint64
-		c [31]*node
-	}
-	inner62 struct {
-		n node
-		k [62]uint64
-		c [63]*node
-	}
-	inner126 struct {
-		n node
-		k [126]uint64
-		c [127]*node
-	}
-	inner254 struct {
-		n node
-		k [254]uint64
-		c [255]*node
-	}
-)
+// One struct per (class, role). The 384-byte class (leaf14/inner14,
+// modelling the paper's 256-byte nodes) is the hot one; the node
+// header, the whole fingerprint array and the first keys fit in the
+// first three cache lines.
+//
+//optiql:cacheline
+type leaf14 struct {
+	n    node
+	fp   [16]byte
+	k, v [14]uint64
+}
+
+//optiql:cacheline
+type leaf30 struct {
+	n    node
+	fp   [32]byte
+	k, v [30]uint64
+	_    [48]byte
+}
+
+//optiql:cacheline
+type leaf62 struct {
+	n    node
+	fp   [64]byte
+	k, v [62]uint64
+	_    [16]byte
+}
+
+//optiql:cacheline
+type leaf126 struct {
+	n    node
+	fp   [128]byte
+	k, v [126]uint64
+	_    [16]byte
+}
+
+//optiql:cacheline
+type leaf254 struct {
+	n    node
+	fp   [256]byte
+	k, v [254]uint64
+	_    [16]byte
+}
+
+//optiql:cacheline
+type inner14 struct {
+	n  node
+	fp [16]byte
+	k  [14]uint64
+	c  [15]*node
+	_  [56]byte
+}
+
+//optiql:cacheline
+type inner30 struct {
+	n  node
+	fp [32]byte
+	k  [30]uint64
+	c  [31]*node
+	_  [40]byte
+}
+
+//optiql:cacheline
+type inner62 struct {
+	n  node
+	fp [64]byte
+	k  [62]uint64
+	c  [63]*node
+	_  [8]byte
+}
+
+//optiql:cacheline
+type inner126 struct {
+	n  node
+	fp [128]byte
+	k  [126]uint64
+	c  [127]*node
+	_  [8]byte
+}
+
+//optiql:cacheline
+type inner254 struct {
+	n  node
+	fp [256]byte
+	k  [254]uint64
+	c  [255]*node
+	_  [8]byte
+}
+
+// heapFPs sizes the fingerprint slice for fanouts beyond the largest
+// class: the fanout rounded up to whole SWAR words.
+func heapFPs(fanout int) []byte {
+	return make([]byte, (fanout+7)&^7)
+}
 
 // makeLeaf builds one leaf node as a single allocation of the given
-// class, its slices aliasing the inline arrays trimmed to fanout.
+// class, its slices aliasing the inline arrays trimmed to fanout. The
+// fingerprint slice keeps the full padded capacity: the SWAR kernel
+// reads whole words and the caller masks down to the live count.
 func makeLeaf(class, fanout int) *node {
 	switch class {
 	case 0:
 		x := new(leaf14)
-		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		x.n.keys, x.n.values, x.n.fps = x.k[:fanout:fanout], x.v[:fanout:fanout], x.fp[:]
 		return &x.n
 	case 1:
 		x := new(leaf30)
-		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		x.n.keys, x.n.values, x.n.fps = x.k[:fanout:fanout], x.v[:fanout:fanout], x.fp[:]
 		return &x.n
 	case 2:
 		x := new(leaf62)
-		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		x.n.keys, x.n.values, x.n.fps = x.k[:fanout:fanout], x.v[:fanout:fanout], x.fp[:]
 		return &x.n
 	case 3:
 		x := new(leaf126)
-		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		x.n.keys, x.n.values, x.n.fps = x.k[:fanout:fanout], x.v[:fanout:fanout], x.fp[:]
 		return &x.n
 	case 4:
 		x := new(leaf254)
-		x.n.keys, x.n.values = x.k[:fanout:fanout], x.v[:fanout:fanout]
+		x.n.keys, x.n.values, x.n.fps = x.k[:fanout:fanout], x.v[:fanout:fanout], x.fp[:]
 		return &x.n
 	default:
-		return &node{keys: make([]uint64, fanout), values: make([]uint64, fanout)}
+		return &node{keys: make([]uint64, fanout), values: make([]uint64, fanout), fps: heapFPs(fanout)}
 	}
 }
 
 // makeInner is makeLeaf for inner nodes (fanout keys, fanout+1 child
-// pointers).
+// pointers). The fp array holds the discriminating bytes of the
+// prefix-truncated separator search (fp.go).
 func makeInner(class, fanout int) *node {
 	switch class {
 	case 0:
 		x := new(inner14)
-		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		x.n.keys, x.n.children, x.n.fps = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1], x.fp[:]
 		return &x.n
 	case 1:
 		x := new(inner30)
-		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		x.n.keys, x.n.children, x.n.fps = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1], x.fp[:]
 		return &x.n
 	case 2:
 		x := new(inner62)
-		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		x.n.keys, x.n.children, x.n.fps = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1], x.fp[:]
 		return &x.n
 	case 3:
 		x := new(inner126)
-		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		x.n.keys, x.n.children, x.n.fps = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1], x.fp[:]
 		return &x.n
 	case 4:
 		x := new(inner254)
-		x.n.keys, x.n.children = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1]
+		x.n.keys, x.n.children, x.n.fps = x.k[:fanout:fanout], x.c[:fanout+1:fanout+1], x.fp[:]
 		return &x.n
 	default:
-		return &node{keys: make([]uint64, fanout), children: make([]*node, fanout+1)}
+		return &node{keys: make([]uint64, fanout), children: make([]*node, fanout+1), fps: heapFPs(fanout)}
 	}
 }
 
@@ -150,6 +210,8 @@ func makeInner(class, fanout int) *node {
 // monotone version history — so any optimistic reader that raced onto
 // it through a stale pointer fails validation instead of trusting the
 // reinitialized contents (see locks/recycle.go for the full argument).
+// Stale fingerprints survive recycling unrebuilt: count is zero, and
+// every fingerprint read is masked to the live count first.
 func (t *Tree) newLeaf(c *locks.Ctx) *node {
 	if x := t.leafFree.Get(c); x != nil {
 		n := x.(*node)
@@ -168,7 +230,9 @@ func (t *Tree) newLeaf(c *locks.Ctx) *node {
 // available. Leaves and inner nodes recycle through separate lists:
 // a node's role (and hence which inline arrays exist) is fixed for its
 // entire lifetime, which is what lets traversal code trust a racily
-// read n.leaf flag.
+// read n.leaf flag. Recycled prefix metadata (pshift/pfx) is stale
+// until the first refreshInnerMeta, but count is zero so childIndex
+// degenerates to slot 0 regardless.
 func (t *Tree) newInner(c *locks.Ctx) *node {
 	if x := t.innerFree.Get(c); x != nil {
 		n := x.(*node)

@@ -1,0 +1,51 @@
+package btree
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestNodeClassLayout pins the //optiql:cacheline contract of every
+// size-class struct (the padalign analyzer checks the same thing in
+// lint) and the SWAR padding of the fingerprint arrays: whole structs
+// are cache-line multiples, fp capacities are word multiples covering
+// the fanout.
+func TestNodeClassLayout(t *testing.T) {
+	sizes := map[string]uintptr{
+		"leaf14":   unsafe.Sizeof(leaf14{}),
+		"leaf30":   unsafe.Sizeof(leaf30{}),
+		"leaf62":   unsafe.Sizeof(leaf62{}),
+		"leaf126":  unsafe.Sizeof(leaf126{}),
+		"leaf254":  unsafe.Sizeof(leaf254{}),
+		"inner14":  unsafe.Sizeof(inner14{}),
+		"inner30":  unsafe.Sizeof(inner30{}),
+		"inner62":  unsafe.Sizeof(inner62{}),
+		"inner126": unsafe.Sizeof(inner126{}),
+		"inner254": unsafe.Sizeof(inner254{}),
+	}
+	for name, sz := range sizes {
+		if sz == 0 || sz%64 != 0 {
+			t.Errorf("%s is %d bytes, want a non-zero multiple of 64", name, sz)
+		}
+	}
+	for class, cap := range classCaps {
+		fpc := classFPCaps[class]
+		if fpc%8 != 0 || fpc < cap {
+			t.Errorf("class %d: fp capacity %d must be a word multiple covering fanout %d", class, fpc, cap)
+		}
+	}
+	// The fp slices a constructed node carries must have the padded
+	// capacity (the SWAR kernel reads whole words past the fanout).
+	for class, cap := range classCaps {
+		if got := len(makeLeaf(class, cap).fps); got != classFPCaps[class] {
+			t.Errorf("leaf class %d: len(fps) = %d, want %d", class, got, classFPCaps[class])
+		}
+		if got := len(makeInner(class, cap).fps); got != classFPCaps[class] {
+			t.Errorf("inner class %d: len(fps) = %d, want %d", class, got, classFPCaps[class])
+		}
+	}
+	// Heap-class nodes get word-padded fp slices too.
+	if got := len(makeLeaf(classHeap, 300).fps); got != 304 {
+		t.Errorf("heap leaf: len(fps) = %d, want 304", got)
+	}
+}

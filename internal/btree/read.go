@@ -4,7 +4,23 @@ import (
 	"optiql/internal/kv"
 	"optiql/internal/locks"
 	"optiql/internal/obs"
+	"optiql/internal/simd"
 )
+
+// prefetchNode warms the first cache line of a node's key array ahead
+// of its use. The descent calls it on the chosen child before
+// acquiring the child's lock and validating the parent, so the key
+// array's cache miss overlaps with that latency instead of following
+// it. The child pointer was read racily; the bounds check keeps even
+// a half-initialized node memory-safe (slice headers are written once
+// at construction, but this code cannot rely on having observed them).
+//
+//optiql:noalloc
+func prefetchNode(n *node) {
+	if ks := n.keys; len(ks) > 0 {
+		simd.PrefetchU64(&ks[0])
+	}
+}
 
 // Lookup returns the value stored under k. The traversal is optimistic
 // lock coupling: each node's version is validated after the child has
@@ -38,6 +54,7 @@ first:
 			n.lock.ReleaseSh(c, tok)
 			goto retry
 		}
+		prefetchNode(child)
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
 			// Optimistic only: nothing is held, so just retry.
@@ -49,11 +66,7 @@ first:
 		}
 		n, tok = child, ctok
 	}
-	i, found := n.leafFind(k)
-	var v uint64
-	if found {
-		v = n.values[i]
-	}
+	v, found := n.leafGet(k)
 	if !n.lock.ReleaseSh(c, tok) {
 		goto retry
 	}
@@ -78,13 +91,14 @@ func (t *Tree) Scan(c *locks.Ctx, start uint64, max int, out []KV) []KV {
 	}
 	limit := len(out) + max
 	resume := start
-	// Per-leaf staging buffer: stack storage for the common fanouts,
-	// one heap slice only for fanouts beyond the largest size class.
+	// Per-leaf staging buffer: stack storage for the common fanouts;
+	// larger fanouts stage in the worker's Ctx scratch, which is lazily
+	// grown once and reused, so steady-state scans are allocation-free
+	// at any fanout.
 	var tmpa [64]KV
 	tmp := tmpa[:0]
 	if t.fanout > len(tmpa) {
-		//optiqlvet:ignore noalloc cold fallback for fanouts beyond the largest size class; the alloc tests pin fanouts that stage on the stack
-		tmp = make([]KV, 0, t.fanout)
+		tmp = c.ScanStage(t.fanout)
 	}
 	goto first
 retry:
@@ -110,6 +124,7 @@ first:
 			n.lock.ReleaseSh(c, tok)
 			goto retry
 		}
+		prefetchNode(child)
 		ctok, cok := child.lock.AcquireSh(c)
 		if !cok {
 			goto retry
@@ -129,6 +144,11 @@ first:
 		}
 		nxt := n.next
 		var ntok locks.Token
+		if nxt != nil {
+			// Warm the next leaf while this one's batch is validated
+			// and committed.
+			prefetchNode(nxt)
+		}
 		if nxt != nil && len(out)+len(tmp) < limit {
 			var nok bool
 			ntok, nok = nxt.lock.AcquireSh(c)

@@ -165,6 +165,7 @@ func (t *Tree) insertLocked(n *node, wtok locks.Token, k, v uint64) bool {
 	}
 	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
 	copy(n.values[i+1:n.count+1], n.values[i:n.count])
+	n.fpInsert(i, n.count, k)
 	n.keys[i] = k
 	n.values[i] = v
 	n.count++
@@ -232,12 +233,7 @@ func (t *Tree) insertAndSplit(c *locks.Ctx, stack []held, k, v uint64) {
 		return
 	}
 	if !leaf.full() {
-		i, _ := leaf.leafFind(k)
-		copy(leaf.keys[i+1:leaf.count+1], leaf.keys[i:leaf.count])
-		copy(leaf.values[i+1:leaf.count+1], leaf.values[i:leaf.count])
-		leaf.keys[i] = k
-		leaf.values[i] = v
-		leaf.count++
+		t.insertIntoLeaf(leaf, k, v)
 		t.size.Add(1)
 		return
 	}
@@ -270,6 +266,7 @@ func (t *Tree) propagateSplit(c *locks.Ctx, stack []held, idx int, sep uint64, r
 		newRoot.children[0] = old
 		newRoot.children[1] = right
 		newRoot.count = 1
+		newRoot.refreshInnerMeta()
 		t.root.Store(newRoot)
 		return
 	}
@@ -297,6 +294,7 @@ func (t *Tree) splitLeaf(c *locks.Ctx, n *node) (uint64, *node) {
 	mid := n.count / 2
 	copy(right.keys, n.keys[mid:n.count])
 	copy(right.values, n.values[mid:n.count])
+	copy(right.fps, n.fps[mid:n.count])
 	right.count = n.count - mid
 	n.count = mid
 	return right.keys[0], right
@@ -312,6 +310,8 @@ func (t *Tree) splitInner(c *locks.Ctx, n *node) (uint64, *node) {
 	copy(right.children, n.children[mid+1:n.count+1])
 	right.count = n.count - mid - 1
 	n.count = mid
+	n.refreshInnerMeta()
+	right.refreshInnerMeta()
 	return sep, right
 }
 
@@ -319,6 +319,7 @@ func (t *Tree) insertIntoLeaf(n *node, k, v uint64) {
 	i, _ := n.leafFind(k)
 	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
 	copy(n.values[i+1:n.count+1], n.values[i:n.count])
+	n.fpInsert(i, n.count, k)
 	n.keys[i] = k
 	n.values[i] = v
 	n.count++
@@ -331,6 +332,7 @@ func (t *Tree) insertIntoInner(n *node, sep uint64, right *node) {
 	n.keys[i] = sep
 	n.children[i+1] = right
 	n.count++
+	n.refreshInnerMeta()
 }
 
 // Delete removes k, returning whether it was present. The fast path
@@ -405,6 +407,7 @@ func (t *Tree) deleteLocked(n *node, wtok locks.Token, k uint64) bool {
 	}
 	copy(n.keys[i:n.count-1], n.keys[i+1:n.count])
 	copy(n.values[i:n.count-1], n.values[i+1:n.count])
+	n.fpDelete(i, n.count)
 	n.count--
 	t.size.Add(-1)
 	return true

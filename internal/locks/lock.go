@@ -17,6 +17,7 @@ import (
 	"unsafe"
 
 	"optiql/internal/core"
+	"optiql/internal/kv"
 	"optiql/internal/obs"
 	"optiql/internal/obs/trace"
 )
@@ -127,6 +128,24 @@ type Ctx struct {
 	// (trace.Buf methods are nil-safe no-ops). Same layering rule as
 	// obs: lock adapters and substrates record, internal/core never.
 	tr *trace.Buf
+	// scanStage is this worker's staging buffer for index scans over
+	// fanouts too large for the scanner's stack scratch. Lazily grown,
+	// then reused for the Ctx's lifetime, so steady-state scans stay
+	// allocation-free at any fanout. Single-threaded like the rest of
+	// the Ctx: the scan must finish with the buffer before returning.
+	scanStage []kv.KV
+}
+
+// ScanStage returns a per-worker scratch buffer with capacity for at
+// least n pairs and length zero. The buffer is owned by the Ctx — the
+// caller must stop using it before the next ScanStage call on the
+// same Ctx (index scans stage one leaf at a time and copy out, so
+// this holds by construction).
+func (c *Ctx) ScanStage(n int) []kv.KV {
+	if cap(c.scanStage) < n {
+		c.scanStage = make([]kv.KV, 0, n)
+	}
+	return c.scanStage[:0]
 }
 
 // SetCounters attaches the worker's event counter set (nil disables

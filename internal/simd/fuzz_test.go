@@ -1,0 +1,72 @@
+package simd
+
+import "testing"
+
+// FuzzMatch fuzzes the SWAR match kernels against the naive reference
+// on arbitrary byte arrays — the fuzzer is free to construct the
+// borrow-propagation shapes that break inexact zero detectors (a zero
+// lane below a 0x01 lane).
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{2, 6, 7, 6, 1, 7, 4, 4}, byte(7)) // borrow false-positive shape
+	f.Add(make([]byte, 64), byte(0))
+	f.Add([]byte{0x80, 0x7f, 0xff, 0, 1, 0x80, 0x7f, 0xff}, byte(0x80))
+	f.Fuzz(func(t *testing.T, fp []byte, b byte) {
+		lim := len(fp) &^ 7
+		if lim > 64 {
+			lim = 64
+		}
+		if got, want := Match64(fp, b), refMatch(fp, lim, b); got != want {
+			t.Fatalf("Match64(%v, %d) = %#x, want %#x", fp[:lim], b, got, want)
+		}
+		if len(fp) >= 16 {
+			if got, want := uint64(Match16(fp, b)), refMatch(fp, 16, b); got != want {
+				t.Fatalf("Match16(%v, %d) = %#x, want %#x", fp[:16], b, got, want)
+			}
+		}
+	})
+}
+
+// FuzzBounds fuzzes the branchless bound kernels against linear
+// references on sorted prefixes, and pins the clamping contract on the
+// raw (unsorted) input.
+func FuzzBounds(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 4, uint64(3))
+	f.Fuzz(func(t *testing.T, raw []byte, n int, k uint64) {
+		keys := make([]uint64, len(raw))
+		for i, b := range raw {
+			keys[i] = uint64(b) // narrow domain → duplicates
+		}
+		// Clamping contract on arbitrary input.
+		for _, got := range []int{LowerBound(keys, n, k), UpperBound(keys, n, k), CountLess(keys, n, k), CountLessEq(keys, n, k)} {
+			lim := n
+			if lim > len(keys) {
+				lim = len(keys)
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if got < 0 || got > lim {
+				t.Fatalf("bound kernel returned %d outside [0, %d]", got, lim)
+			}
+		}
+		// Exactness on sorted input.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+				keys[j-1], keys[j] = keys[j], keys[j-1]
+			}
+		}
+		eff := n
+		if eff < 0 {
+			eff = 0
+		}
+		if eff > len(keys) {
+			eff = len(keys)
+		}
+		if got, want := LowerBound(keys, n, k), refLowerBound(keys, eff, k); got != want {
+			t.Fatalf("LowerBound(%v, %d, %d) = %d, want %d", keys[:eff], n, k, got, want)
+		}
+		if got, want := UpperBound(keys, n, k), refUpperBound(keys, eff, k); got != want {
+			t.Fatalf("UpperBound(%v, %d, %d) = %d, want %d", keys[:eff], n, k, got, want)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package simd provides the node-local search kernels both index
+// substrates descend through: SWAR (SIMD-within-a-register) byte
+// matching over uint64 words, branchless binary-search and unrolled
+// linear-search kernels, and a portable software-prefetch shim.
+//
+// The package is stdlib-only by design. Go has no vector intrinsics,
+// but the classic SWAR tricks — broadcast a byte across a word, XOR,
+// and detect zero bytes with the haszero mask — give 8-way parallel
+// byte comparison on any 64-bit target, which is exactly the operation
+// the ART paper's Node16 assumes SIMD for and the FB+-tree uses to
+// scan leaf fingerprints. The binary-search kernels use the
+// power-of-two "shrink by half, conditionally advance" form whose
+// single data-dependent update compiles to a CMOV on amd64/arm64
+// instead of an unpredictable branch.
+//
+// Every kernel here is called from optimistic read paths that run
+// without holding a lock: inputs may be torn by concurrent writers.
+// The kernels therefore promise only memory safety on arbitrary
+// inputs (all indexing stays within the given bounds); callers
+// validate lock versions before trusting any result, exactly as they
+// already do for the scalar searches these replace.
+package simd
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// loOnes has the low bit of every byte lane set; lo7 the low seven
+// bits. The zero-byte detector used by matchWord is the exact,
+// carry-free form: ^(((x & lo7) + lo7) | x | lo7) has lane i's high
+// bit set iff byte i of x is zero. (The shorter classic
+// (x - loOnes) &^ x & hiOnes is NOT exact per lane: a borrow out of a
+// zero lane turns a neighbouring 0x01 into 0xFF and flags it too.
+// Here each lane's add maxes out at 0x7f+0x7f = 0xFE, so nothing
+// crosses a lane boundary.)
+const (
+	loOnes = 0x0101010101010101
+	lo7    = 0x7f7f7f7f7f7f7f7f
+	// moveMask compresses per-lane indicator bits (one bit at position
+	// 8j after a >>7 of the haszero result) into the top byte: bit j of
+	// byte 7 is lane j's indicator. The exponents 56-7j are chosen so
+	// each lane's product lands on a distinct top-byte bit and every
+	// cross term either falls below bit 56 or wraps out of the word —
+	// no carries can corrupt the result.
+	moveMask = 0x0102040810204080
+)
+
+// Broadcast replicates b into every byte lane of a word.
+//
+//optiql:noalloc
+func Broadcast(b byte) uint64 {
+	return uint64(b) * loOnes
+}
+
+// matchWord returns a mask with the high bit of lane i set iff byte i
+// of w equals the broadcast word bcast (built by Broadcast).
+//
+//optiql:noalloc
+func matchWord(w, bcast uint64) uint64 {
+	x := w ^ bcast
+	return ^(((x & lo7) + lo7) | x | lo7)
+}
+
+// Match64 reports which of the first min(len(fp)&^7, 64) bytes of fp
+// equal b, as a bitmask with bit i set for fp[i] == b. fp is read a
+// word at a time, so only whole 8-byte groups participate; size-class
+// fingerprint arrays are padded to a multiple of 8 for exactly this
+// reason. Callers mask the result down to the live entry count.
+//
+//optiql:noalloc
+func Match64(fp []byte, b byte) uint64 {
+	n := len(fp) &^ 7
+	if n > 64 {
+		n = 64
+	}
+	bcast := Broadcast(b)
+	var out uint64
+	for i := 0; i < n; i += 8 {
+		m := matchWord(binary.LittleEndian.Uint64(fp[i:]), bcast)
+		// Compress the per-lane high bits (position 8j+7) into one bit
+		// per byte via the moveMask multiply, then place the group's
+		// 8-bit result at its offset in the output mask.
+		out |= ((m >> 7 * moveMask) >> 56 & 0xff) << i
+	}
+	return out
+}
+
+// Match16 is Match64 specialized to the 16-byte arrays of ART Node16
+// and the 14-fanout B+-tree size class: two words, fully unrolled.
+// len(fp) must be at least 16.
+//
+//optiql:noalloc
+func Match16(fp []byte, b byte) uint32 {
+	bcast := Broadcast(b)
+	m0 := matchWord(binary.LittleEndian.Uint64(fp[0:8]), bcast)
+	m1 := matchWord(binary.LittleEndian.Uint64(fp[8:16]), bcast)
+	lo := (m0 >> 7 * moveMask) >> 56 & 0xff
+	hi := (m1 >> 7 * moveMask) >> 56 & 0xff
+	return uint32(lo | hi<<8)
+}
+
+// NextMatch consumes the lowest set bit of a Match64/Match16 mask,
+// returning its index and the remaining mask.
+//
+//optiql:noalloc
+func NextMatch(m uint64) (int, uint64) {
+	return bits.TrailingZeros64(m), m & (m - 1)
+}
+
+// LowerBound returns the first index i < n with keys[i] >= k, or n if
+// none, searching keys[:n] branchlessly: the loop trip count depends
+// only on n, and the single conditional advance compiles to CMOV.
+// Requires 0 <= n <= len(keys); n outside that range is clamped.
+//
+//optiql:noalloc
+func LowerBound(keys []uint64, n int, k uint64) int {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 0 {
+		return 0
+	}
+	base, m := 0, n
+	for m > 1 {
+		half := m >> 1
+		if keys[base+half-1] < k {
+			base += half
+		}
+		m -= half
+	}
+	if keys[base] < k {
+		base++
+	}
+	return base
+}
+
+// UpperBound returns the first index i < n with keys[i] > k, or n if
+// none. Same branchless structure as LowerBound.
+//
+//optiql:noalloc
+func UpperBound(keys []uint64, n int, k uint64) int {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 0 {
+		return 0
+	}
+	base, m := 0, n
+	for m > 1 {
+		half := m >> 1
+		if keys[base+half-1] <= k {
+			base += half
+		}
+		m -= half
+	}
+	if keys[base] <= k {
+		base++
+	}
+	return base
+}
+
+// LowerBoundBytes is LowerBound over a byte array: first i < n with
+// a[i] >= b. Used for the truncated (prefix-stripped) separator search
+// in large inner nodes, where the discriminating bytes span 4 cache
+// lines instead of the 32 the full keys occupy.
+//
+//optiql:noalloc
+func LowerBoundBytes(a []byte, n int, b byte) int {
+	if n > len(a) {
+		n = len(a)
+	}
+	if n <= 0 {
+		return 0
+	}
+	base, m := 0, n
+	for m > 1 {
+		half := m >> 1
+		if a[base+half-1] < b {
+			base += half
+		}
+		m -= half
+	}
+	if a[base] < b {
+		base++
+	}
+	return base
+}
+
+// UpperBoundBytes is UpperBound over a byte array: first i < n with
+// a[i] > b.
+//
+//optiql:noalloc
+func UpperBoundBytes(a []byte, n int, b byte) int {
+	if n > len(a) {
+		n = len(a)
+	}
+	if n <= 0 {
+		return 0
+	}
+	base, m := 0, n
+	for m > 1 {
+		half := m >> 1
+		if a[base+half-1] <= b {
+			base += half
+		}
+		m -= half
+	}
+	if a[base] <= b {
+		base++
+	}
+	return base
+}
+
+// CountLess returns how many of keys[:n] are < k — equivalently the
+// lower-bound index in a sorted array — by an unrolled, branch-free
+// linear pass: every comparison becomes a SETcc+ADD with no
+// data-dependent branch to mispredict. This beats binary search for
+// the small size classes (fanout 14/30), whose whole key array is one
+// or two prefetcher-friendly sequential cache lines.
+//
+//optiql:noalloc
+func CountLess(keys []uint64, n int, k uint64) int {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 0 {
+		return 0
+	}
+	keys = keys[:n]
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += b2i(keys[i] < k) + b2i(keys[i+1] < k) + b2i(keys[i+2] < k) + b2i(keys[i+3] < k)
+	}
+	for ; i < n; i++ {
+		c += b2i(keys[i] < k)
+	}
+	return c
+}
+
+// CountLessEq returns how many of keys[:n] are <= k — the upper-bound
+// index in a sorted array. Same unrolled branch-free structure as
+// CountLess.
+//
+//optiql:noalloc
+func CountLessEq(keys []uint64, n int, k uint64) int {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	if n <= 0 {
+		return 0
+	}
+	keys = keys[:n]
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += b2i(keys[i] <= k) + b2i(keys[i+1] <= k) + b2i(keys[i+2] <= k) + b2i(keys[i+3] <= k)
+	}
+	for ; i < n; i++ {
+		c += b2i(keys[i] <= k)
+	}
+	return c
+}
+
+// b2i converts a comparison to 0/1 without a branch (the compiler
+// emits SETcc; there is no jump in the generated code).
+//
+//optiql:noalloc
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
