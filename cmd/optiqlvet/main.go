@@ -40,6 +40,7 @@ func run(args []string) int {
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	noTests := fs.Bool("notests", false, "skip _test.go files and external test packages")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	debug := fs.Bool("debug", false, "print per-analyzer timing to stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: optiqlvet [-checks a,b] [packages]\n       optiqlvet <unit>.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range driver.All() {
@@ -82,7 +83,11 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	rep, err := driver.Run(load.Config{Patterns: patterns, Tests: !*noTests}, analyzers)
+	var opts driver.Options
+	if *debug {
+		opts.Debug = os.Stderr
+	}
+	rep, err := driver.RunWith(load.Config{Patterns: patterns, Tests: !*noTests}, analyzers, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optiqlvet: %v\n", err)
 		return 1

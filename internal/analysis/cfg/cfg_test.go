@@ -1,0 +1,393 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses a function body and builds its CFG.
+func buildFunc(t *testing.T, body string) (*token.FileSet, *Graph) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return fset, Build(fd.Body)
+}
+
+// render normalizes a graph to a compact, position-free description:
+// one line per block in index order, statements printed as source,
+// conditions marked, successor edges by index, dead blocks tagged.
+func render(fset *token.FileSet, g *Graph) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		if len(b.Stmts) == 0 && b.Cond == nil && len(b.Succs) == 0 && b != g.Entry && b != g.Exit {
+			continue // builder scaffolding with no content or effect
+		}
+		fmt.Fprintf(&sb, "b%d", b.Index)
+		if b == g.Entry {
+			sb.WriteString("(entry)")
+		}
+		if b == g.Exit {
+			sb.WriteString("(exit)")
+		}
+		if !b.Live {
+			sb.WriteString("(dead)")
+		}
+		sb.WriteString(":")
+		for _, n := range b.Stmts {
+			sb.WriteString(" {" + printNode(fset, n) + "}")
+		}
+		if b.Cond != nil {
+			sb.WriteString(" ?" + printNode(fset, b.Cond))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// reachStmts runs a trivial reachability problem and returns the
+// rendered statements of every live block the solver visited.
+func reachStmts(fset *token.FileSet, g *Graph) map[string]bool {
+	in := Solve(g, &boolProblem{})
+	out := make(map[string]bool)
+	for _, b := range g.Blocks {
+		if _, ok := in[b]; !ok {
+			continue
+		}
+		for _, n := range b.Stmts {
+			out[printNode(fset, n)] = true
+		}
+	}
+	return out
+}
+
+// boolProblem is the trivial lattice: reachable or not.
+type boolProblem struct{}
+
+func (*boolProblem) Entry() State                             { return true }
+func (*boolProblem) Transfer(n ast.Node, s State) State       { return s }
+func (*boolProblem) Branch(c ast.Expr, t bool, s State) State { return s }
+func (*boolProblem) Join(a, b State) State                    { return a.(bool) || b.(bool) }
+func (*boolProblem) Equal(a, b State) bool                    { return a.(bool) == b.(bool) }
+
+func TestIfShape(t *testing.T) {
+	fset, g := buildFunc(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	use(x)`)
+	got := render(fset, g)
+	// The condition block must have exactly two successors (true, false),
+	// and both arms must rejoin before use(x).
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("if: want one 2-successor condition block, got:\n%s", got)
+	}
+	arms := []*Block{cond.Succs[0], cond.Succs[1]}
+	if printNode(fset, arms[0].Stmts[0]) != "x = 2" || printNode(fset, arms[1].Stmts[0]) != "x = 3" {
+		t.Fatalf("if: true edge must lead to the then-arm, false to else:\n%s", got)
+	}
+	if len(arms[0].Succs) != 1 || len(arms[1].Succs) != 1 || arms[0].Succs[0] != arms[1].Succs[0] {
+		t.Fatalf("if: arms must rejoin at a single block:\n%s", got)
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	fset, g := buildFunc(t, `
+	for i := 0; i < 10; i++ {
+		body(i)
+	}
+	after()`)
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("for: want a 2-successor condition block:\n%s", render(fset, g))
+	}
+	// The loop body must cycle back: the condition is reachable from its
+	// own true successor.
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == cond {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(cond.Succs[0]) {
+		t.Fatalf("for: body must loop back to the condition:\n%s", render(fset, g))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	fset, g := buildFunc(t, `
+	for i := 0; i < 10; i++ {
+		if skip(i) {
+			continue
+		}
+		if done(i) {
+			break
+		}
+		body(i)
+	}
+	after()`)
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"body(i)", "after()", "i++"} {
+		if !reach[want] {
+			t.Fatalf("break/continue: %q must stay reachable:\n%s", want, render(fset, g))
+		}
+	}
+}
+
+func TestLabeledBreakGoto(t *testing.T) {
+	fset, g := buildFunc(t, `
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if a(i, j) {
+				break outer
+			}
+			if b(i, j) {
+				continue outer
+			}
+			if c(i, j) {
+				goto done
+			}
+		}
+	}
+	mid()
+done:
+	end()`)
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"mid()", "end()"} {
+		if !reach[want] {
+			t.Fatalf("labeled: %q must stay reachable:\n%s", want, render(fset, g))
+		}
+	}
+}
+
+func TestSwitchShape(t *testing.T) {
+	fset, g := buildFunc(t, `
+	switch k := kind(); k {
+	case 1:
+		one()
+	case 2:
+		two()
+		fallthrough
+	case 3:
+		three()
+	default:
+		other()
+	}
+	after()`)
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"one()", "two()", "three()", "other()", "after()"} {
+		if !reach[want] {
+			t.Fatalf("switch: %q must stay reachable:\n%s", want, render(fset, g))
+		}
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	fset, g := buildFunc(t, `
+	pre()
+	return
+	post()`) //nolint
+	for _, b := range g.Blocks {
+		for _, n := range b.Stmts {
+			if printNode(fset, n) == "post()" && b.Live {
+				t.Fatalf("code after return must be marked dead:\n%s", render(fset, g))
+			}
+			if printNode(fset, n) == "pre()" && !b.Live {
+				t.Fatalf("code before return must stay live:\n%s", render(fset, g))
+			}
+		}
+	}
+	if _, ok := Solve(g, &boolProblem{})[g.Exit]; !ok {
+		t.Fatal("exit must be solver-reachable through the return")
+	}
+}
+
+func TestDeferLowering(t *testing.T) {
+	fset, g := buildFunc(t, `
+	defer cleanupA()
+	if cond() {
+		return
+	}
+	defer cleanupB()
+	work()`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 registered defers, got %d", len(g.Defers))
+	}
+	// Every path into Exit must pass through the lowered call to
+	// cleanupA (registered on all paths); cleanupB runs only on the
+	// fall-through path but must be present in the graph.
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"cleanupA()", "cleanupB()", "work()"} {
+		if !reach[want] {
+			t.Fatalf("defer: lowered call %q missing from solved graph:\n%s", want, render(fset, g))
+		}
+	}
+	// The chain is shared by every exit (a conservative may-execute
+	// over-approximation) and runs LIFO: cleanupB's block flows into
+	// cleanupA's, which flows into Exit.
+	var blkA, blkB *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Stmts {
+			switch printNode(fset, n) {
+			case "cleanupA()":
+				blkA = b
+			case "cleanupB()":
+				blkB = b
+			}
+		}
+	}
+	if blkA == nil || blkB == nil {
+		t.Fatalf("defer: lowered call blocks missing:\n%s", render(fset, g))
+	}
+	if len(blkB.Succs) != 1 || blkB.Succs[0] != blkA {
+		t.Fatalf("defer: chain must run LIFO (cleanupB before cleanupA):\n%s", render(fset, g))
+	}
+	if len(blkA.Succs) != 1 || blkA.Succs[0] != g.Exit {
+		t.Fatalf("defer: last-registered defer must flow into Exit:\n%s", render(fset, g))
+	}
+	// No edge may bypass the chain into Exit.
+	for _, b := range g.Blocks {
+		if b == blkA {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				t.Fatalf("defer: b%d reaches Exit bypassing the defer chain:\n%s", b.Index, render(fset, g))
+			}
+		}
+	}
+}
+
+func TestInfiniteLoopTermination(t *testing.T) {
+	// for {} has no exit edge; Build and Solve must still terminate and
+	// the code after the loop must be dead.
+	fset, g := buildFunc(t, `
+	for {
+		spin()
+	}
+	after()`)
+	for _, b := range g.Blocks {
+		for _, n := range b.Stmts {
+			if printNode(fset, n) == "after()" && b.Live {
+				t.Fatalf("code after for{} must be dead:\n%s", render(fset, g))
+			}
+		}
+	}
+	if _, ok := Solve(g, &boolProblem{})[g.Entry]; !ok {
+		t.Fatal("solver must terminate on an infinite loop and keep the entry state")
+	}
+}
+
+// divergeProblem never converges: every Transfer bumps a counter and
+// Equal is always false. The solver's budget must end the run anyway.
+type divergeProblem struct{ steps int }
+
+func (p *divergeProblem) Entry() State                             { return 0 }
+func (p *divergeProblem) Transfer(n ast.Node, s State) State       { p.steps++; return s.(int) + 1 }
+func (p *divergeProblem) Branch(c ast.Expr, t bool, s State) State { return s }
+func (p *divergeProblem) Join(a, b State) State                    { return a.(int) + b.(int) }
+func (p *divergeProblem) Equal(a, b State) bool                    { return false }
+
+func TestSolverBudget(t *testing.T) {
+	_, g := buildFunc(t, `
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			x(i, j)
+		}
+	}`)
+	p := &divergeProblem{}
+	Solve(g, p) // must return despite Equal never holding
+	if p.steps == 0 {
+		t.Fatal("diverging solve did no work at all")
+	}
+	limit := (64*len(g.Blocks) + 256) * (len(g.Blocks) + 4)
+	if p.steps > limit {
+		t.Fatalf("diverging solve ran %d transfers, budget should cap near %d", p.steps, limit)
+	}
+}
+
+func TestSelectShape(t *testing.T) {
+	fset, g := buildFunc(t, `
+	select {
+	case v := <-ch:
+		got(v)
+	case out <- 1:
+		sent()
+	default:
+		idle()
+	}
+	after()`)
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"got(v)", "sent()", "idle()", "after()"} {
+		if !reach[want] {
+			t.Fatalf("select: %q must stay reachable:\n%s", want, render(fset, g))
+		}
+	}
+}
+
+func TestTypeSwitchShape(t *testing.T) {
+	fset, g := buildFunc(t, `
+	switch v := x.(type) {
+	case int:
+		ints(v)
+	case string:
+		strs(v)
+	default:
+		other(v)
+	}
+	after()`)
+	reach := reachStmts(fset, g)
+	for _, want := range []string{"ints(v)", "strs(v)", "other(v)", "after()"} {
+		if !reach[want] {
+			t.Fatalf("type switch: %q must stay reachable:\n%s", want, render(fset, g))
+		}
+	}
+}

@@ -2,13 +2,26 @@
 // multichecker behind `go run ./cmd/optiqlvet ./...` and the `make
 // lint` / CI entry point. Unlike the per-package `go vet -vettool`
 // mode (see unitchecker), the driver sees the whole module at once,
-// so two-phase analyzers (atomicmix) get module-wide facts and unused
-// suppression directives can be reported.
+// so two-phase analyzers (atomicmix, tornread, walorder) get
+// module-wide facts and unused suppression directives can be
+// reported.
+//
+// Phases: Collect runs sequentially over the targets in dependency
+// order (the loader's single `go list -deps` preserves it), so the
+// interprocedural analyzers see callee summaries before callers. Run
+// phases only read facts, so packages run on a bounded worker pool;
+// diagnostics are gathered per package and merged in package order,
+// keeping output deterministic regardless of scheduling.
 package driver
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"optiql/internal/analysis"
 	"optiql/internal/analysis/atomicmix"
@@ -18,6 +31,8 @@ import (
 	"optiql/internal/analysis/padalign"
 	"optiql/internal/analysis/recycle"
 	"optiql/internal/analysis/shcheck"
+	"optiql/internal/analysis/tornread"
+	"optiql/internal/analysis/walorder"
 )
 
 // All returns the full suite in reporting order.
@@ -29,6 +44,8 @@ func All() []*analysis.Analyzer {
 		atomicmix.Analyzer,
 		padalign.Analyzer,
 		recycle.Analyzer,
+		tornread.Analyzer,
+		walorder.Analyzer,
 	}
 }
 
@@ -48,44 +65,110 @@ type Report struct {
 	Diagnostics []analysis.Diagnostic
 }
 
-// Run loads the packages matched by cfg and applies the analyzers:
-// first every Collect phase over every package (module-wide facts),
-// then every Run phase, with suppression directives applied and
-// unused directives reported.
+// Options tune a driver invocation beyond the load configuration.
+type Options struct {
+	// Debug, when non-nil, receives per-analyzer cumulative wall time
+	// after the run (the -debug flag).
+	Debug io.Writer
+	// Workers bounds Run-phase parallelism; <= 0 means GOMAXPROCS
+	// capped at 8 (analysis is memory-bandwidth bound well before
+	// that).
+	Workers int
+}
+
+// Run loads the packages matched by cfg and applies the analyzers
+// with default options.
 func Run(cfg load.Config, analyzers []*analysis.Analyzer) (*Report, error) {
+	return RunWith(cfg, analyzers, Options{})
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(cfg load.Config, analyzers []*analysis.Analyzer, opts Options) (*Report, error) {
 	res, err := load.Load(cfg)
 	if err != nil {
 		return nil, err
 	}
 	facts := make(map[string]*analysis.FactSet, len(analyzers))
+	timing := make(map[string]*atomic.Int64, len(analyzers))
 	for _, a := range analyzers {
 		facts[a.Name] = analysis.NewFactSet()
+		timing[a.Name] = new(atomic.Int64)
 	}
 
-	for _, a := range analyzers {
-		if a.Collect == nil {
-			continue
-		}
-		for _, pkg := range res.Targets {
+	// Collect: sequential, targets in dependency order.
+	for _, pkg := range res.Targets {
+		for _, a := range analyzers {
+			if a.Collect == nil {
+				continue
+			}
+			t0 := time.Now()
 			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, res.Sizes, facts[a.Name], nil)
 			a.Collect(pass)
+			timing[a.Name].Add(int64(time.Since(t0)))
 		}
 	}
 
-	var all []analysis.Diagnostic
-	for _, pkg := range res.Targets {
-		igs, diags := analysis.ParseIgnores(res.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, res.Sizes, facts[a.Name],
-				func(d analysis.Diagnostic) { diags = append(diags, d) })
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
-			}
+	// Run: parallel per package, facts now read-only.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
 		}
-		all = append(all, analysis.FilterIgnored(res.Fset, igs, diags, true)...)
+	}
+	perPkg := make([][]analysis.Diagnostic, len(res.Targets))
+	errs := make([]error, len(res.Targets))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range res.Targets {
+		wg.Add(1)
+		go func(i int, pkg *load.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			igs, diags := analysis.ParseIgnores(res.Fset, pkg.Files)
+			for _, a := range analyzers {
+				t0 := time.Now()
+				pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, res.Sizes, facts[a.Name],
+					func(d analysis.Diagnostic) { diags = append(diags, d) })
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+					return
+				}
+				timing[a.Name].Add(int64(time.Since(t0)))
+			}
+			perPkg[i] = analysis.FilterIgnored(res.Fset, igs, diags, true)
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []analysis.Diagnostic
+	for _, diags := range perPkg {
+		all = append(all, diags...)
 	}
 	analysis.SortDiagnostics(res.Fset, all)
+	if opts.Debug != nil {
+		printTiming(opts.Debug, analyzers, timing)
+	}
 	return &Report{Result: res, Diagnostics: all}, nil
+}
+
+func printTiming(w io.Writer, analyzers []*analysis.Analyzer, timing map[string]*atomic.Int64) {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		return timing[names[i]].Load() > timing[names[j]].Load()
+	})
+	fmt.Fprintf(w, "optiqlvet analyzer timing (collect+run, cpu-summed across workers):\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-10s %8.1fms\n", name, float64(timing[name].Load())/1e6)
+	}
 }
 
 // Print writes type errors and diagnostics in vet format and reports

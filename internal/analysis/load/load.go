@@ -82,6 +82,7 @@ type listPkg struct {
 	Name         string
 	Dir          string
 	Standard     bool
+	DepOnly      bool
 	ForTest      string
 	GoFiles      []string
 	TestGoFiles  []string
@@ -121,29 +122,27 @@ func Load(cfg Config) (*Result, error) {
 		ld.sizes = types.SizesFor("gc", "amd64")
 	}
 
-	// Pattern expansion: which packages are targets.
-	targets, err := ld.golist(cfg.Patterns, false)
+	// One go list call covers pattern expansion and the dependency
+	// closure: with -deps, go list prints dependencies first and marks
+	// the non-matched ones DepOnly, so the matched targets come out
+	// already in dependency order — which is exactly the order the
+	// interprocedural Collect phases need (callee summaries before
+	// callers).
+	all, err := ld.golist(cfg.Patterns, true)
 	if err != nil {
 		return nil, err
 	}
-	targetSet := make(map[string]bool, len(targets))
-	for _, lp := range targets {
-		if lp.Error != nil {
-			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+	var targets []*listPkg
+	for _, lp := range all {
+		if !lp.DepOnly {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			targets = append(targets, lp)
 		}
-		targetSet[lp.ImportPath] = true
-	}
-
-	// Full dependency closure in dependency order.
-	deps, err := ld.golist(cfg.Patterns, true)
-	if err != nil {
-		return nil, err
-	}
-	for _, lp := range deps {
-		if _, done := ld.pkgs[lp.ImportPath]; done {
-			continue
+		if _, done := ld.pkgs[lp.ImportPath]; !done {
+			ld.checkPlain(lp, lp.Module != nil)
 		}
-		ld.checkPlain(lp, lp.Module != nil)
 	}
 
 	// Test-only imports of the targets (testing, httptest, ...).

@@ -1,0 +1,203 @@
+// Package waltest holds the walorder golden cases, shaped after the
+// server's executor: an Index apply must be dominated by a successful
+// wal.Append (or be on the wal-disabled or replay path), and no op may
+// be acked after a successful append unless the durability barrier is
+// accounted for.
+package waltest
+
+import "vettest/wal"
+
+// Index mirrors the server's index interface: the apply primitives.
+type Index interface {
+	Insert(k, v uint64) bool
+	Delete(k uint64) bool
+}
+
+type pending struct{ n int }
+
+// opDone mirrors the per-op ack: the complete primitive.
+func (p *pending) opDone() { p.n-- }
+
+type writeOp struct {
+	key, val uint64
+	p        *pending
+}
+
+type ackBatch struct{ items []*pending }
+
+type executor struct {
+	idx           Index
+	wal           *wal.Log
+	ack           *ackBatch
+	walDefersAcks bool
+}
+
+// applyAll is the unguarded apply helper (applyBatch's shape): it is
+// not WAL-aware itself, so the ordering obligation lands on callers.
+func (e *executor) applyAll(buf []writeOp) {
+	for i := range buf {
+		w := &buf[i]
+		e.idx.Insert(w.key, w.val)
+		e.complete(w)
+	}
+}
+
+// complete parks the ack on the installed batch or acks immediately.
+func (e *executor) complete(w *writeOp) {
+	if e.ack != nil {
+		e.ack.items = append(e.ack.items, w.p)
+		return
+	}
+	w.p.opDone()
+}
+
+// goodExec is the canonical execBatch shape: every path guards the
+// apply and the ack.
+func (e *executor) goodExec(buf []writeOp) {
+	if e.wal == nil {
+		e.applyAll(buf)
+		return
+	}
+	ops := make([]wal.Op, 0, len(buf))
+	for i := range buf {
+		ops = append(ops, wal.Op{Key: buf[i].key, Val: buf[i].val})
+	}
+	seq, err := e.wal.Append(ops)
+	if err != nil {
+		for i := range buf {
+			buf[i].p.opDone()
+		}
+		return
+	}
+	if !e.walDefersAcks {
+		e.applyAll(buf)
+		e.wal.NoteApplied(seq)
+		return
+	}
+	ab := &ackBatch{}
+	e.ack = ab
+	e.applyAll(buf)
+	e.ack = nil
+	e.wal.NoteApplied(seq)
+	e.wal.Commit(seq, len(ab.items), nil)
+}
+
+// flagApplyBeforeAppend applies to the index before the batch is
+// durable in the log: a crash between the two loses the write.
+func (e *executor) flagApplyBeforeAppend(buf []writeOp) {
+	ops := make([]wal.Op, 0, len(buf))
+	for i := range buf {
+		ops = append(ops, wal.Op{Key: buf[i].key, Val: buf[i].val})
+	}
+	e.applyAll(buf) // want "index apply is not dominated by a wal.Append"
+	seq, err := e.wal.Append(ops)
+	if err != nil {
+		return
+	}
+	e.wal.NoteApplied(seq)
+}
+
+// flagDirectInsert applies outside both the nil-WAL path and any
+// append.
+func (e *executor) flagDirectInsert(k, v uint64) {
+	if e.wal == nil {
+		e.idx.Insert(k, v)
+		return
+	}
+	e.idx.Insert(k, v) // want "index apply is not dominated by a wal.Append"
+}
+
+// flagAckWithoutBarrier acks after a successful append with no ack
+// batch, no error unwind and no policy exemption: under a deferring
+// fsync policy the client hears success before the record is stable.
+func (e *executor) flagAckWithoutBarrier(buf []writeOp, ops []wal.Op) {
+	seq, err := e.wal.Append(ops)
+	if err != nil {
+		return
+	}
+	for i := range buf {
+		e.idx.Insert(buf[i].key, buf[i].val)
+		buf[i].p.opDone() // want "op completion after a successful wal.Append without the durability barrier"
+	}
+	e.wal.NoteApplied(seq)
+}
+
+// goodAckBatch installs the group-commit batch before applying.
+func (e *executor) goodAckBatch(buf []writeOp, ops []wal.Op) {
+	seq, err := e.wal.Append(ops)
+	if err != nil {
+		return
+	}
+	ab := &ackBatch{}
+	e.ack = ab
+	e.applyAll(buf)
+	e.ack = nil
+	e.wal.Commit(seq, len(ab.items), nil)
+}
+
+// goodOffPolicy takes the non-deferring policy fast path, where acks
+// at apply time are correct by policy.
+func (e *executor) goodOffPolicy(buf []writeOp, ops []wal.Op) {
+	seq, err := e.wal.Append(ops)
+	if err != nil {
+		return
+	}
+	if !e.walDefersAcks {
+		for i := range buf {
+			e.idx.Insert(buf[i].key, buf[i].val)
+			buf[i].p.opDone()
+		}
+		e.wal.NoteApplied(seq)
+	}
+}
+
+// goodPolicyCall observes the policy through a method instead of a
+// field.
+func (e *executor) goodPolicyCall(buf []writeOp, ops []wal.Op, pol interface{ DefersAcks() bool }) {
+	_, err := e.wal.Append(ops)
+	if err != nil {
+		return
+	}
+	if !pol.DefersAcks() {
+		for i := range buf {
+			e.idx.Insert(buf[i].key, buf[i].val)
+			buf[i].p.opDone()
+		}
+	}
+}
+
+// goodErrPath acks on the append-error unwind: the ops fail, and the
+// error answer is the barrier.
+func (e *executor) goodErrPath(buf []writeOp, ops []wal.Op) {
+	_, err := e.wal.Append(ops)
+	if err != nil {
+		for i := range buf {
+			buf[i].p.opDone()
+		}
+		return
+	}
+	ab := &ackBatch{}
+	e.ack = ab
+	e.applyAll(buf)
+	e.ack = nil
+}
+
+// goodReplay applies records drawn from the durable log itself: the
+// recovery path is exempt by construction.
+func (e *executor) goodReplay(recs []wal.Op) {
+	for _, r := range recs {
+		if r.Code == 0 {
+			e.idx.Insert(r.Key, r.Val)
+		} else {
+			e.idx.Delete(r.Key)
+		}
+	}
+}
+
+// run drains batches through the fully guarded executor: calling a
+// helper whose applies are internally guarded imposes nothing here.
+func (e *executor) run(batches [][]writeOp) {
+	for _, buf := range batches {
+		e.goodExec(buf)
+	}
+}

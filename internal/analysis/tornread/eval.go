@@ -1,0 +1,638 @@
+package tornread
+
+// Transfer functions, abstract evaluation and branch refinement for
+// the torn-read lattice. The conventions:
+//
+//   - eval returns the abstract value of an expression and applies its
+//     side effects (lock transitions, sink checks, deref gates) to the
+//     state;
+//   - refine adjusts a state copy along one conditional edge, using
+//     effect-free evaluation (fa.pure) so a branch never re-reports or
+//     re-transitions;
+//   - parameter-conditional events accumulate into the function
+//     summary; unconditional hazards report immediately (final pass).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func (a *fa) typeOf(e ast.Expr) types.Type { return a.e.pass.Info.TypeOf(e) }
+
+func (a *fa) flag(pos token.Pos, format string, args ...any) {
+	if !a.report || !a.emit || a.pure > 0 || a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.e.pass.Reportf(pos, format, args...)
+}
+
+// record merges parameter-conditional sink/deref masks into the
+// summary being built (skipped during effect-free refinement eval).
+func (a *fa) record(deref, sinkLoad, sinkVal mask) {
+	if a.pure > 0 {
+		return
+	}
+	a.sum.deref |= deref
+	a.sum.sinkLoad |= sinkLoad
+	a.sum.sinkVal |= sinkVal
+}
+
+// transfer applies one CFG node to the state (in place; the caller
+// clones).
+func (a *fa) transfer(n ast.Node, s *state) *state {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, s)
+	case *ast.IncDecStmt:
+		// x++ / x-- keep x's provenance level (Clamped survives: the
+		// codebase idiom is pos+1 style offsets inside clamped ranges —
+		// a documented soundness trade, see DESIGN §15).
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var v absval
+					if i < len(vs.Values) {
+						v = a.eval(vs.Values[i], s)
+					}
+					if name.Name != "_" {
+						s.set(name.Name, v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			a.foldReturn(a.eval(res, s))
+		}
+	case *ast.RangeStmt:
+		a.rangeHead(n, s)
+	case *ast.SwitchStmt:
+		if n.Tag != nil {
+			a.eval(n.Tag, s)
+		}
+	case *ast.TypeSwitchStmt:
+		switch as := n.Assign.(type) {
+		case *ast.AssignStmt:
+			a.assign(as, s)
+		case *ast.ExprStmt:
+			a.eval(as.X, s)
+		}
+	case *ast.SendStmt:
+		a.eval(n.Chan, s)
+		a.eval(n.Value, s)
+	case *ast.GoStmt:
+		a.eval(n.Call, s)
+	case *ast.SelectStmt, *ast.DeferStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// Select comm ops live in clause blocks; deferred calls are
+		// lowered into the defer chain by the CFG builder.
+	case ast.Expr:
+		if a.loopCond[n] {
+			a.loopBound(n, s)
+		}
+		a.eval(n, s)
+	}
+	return s
+}
+
+func (a *fa) foldReturn(v absval) {
+	if a.pure > 0 {
+		return
+	}
+	v.kind, v.tok = vPlain, ""
+	v.rmd = 0
+	a.sum.ret = joinVal(a.sum.ret, v)
+}
+
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+func (a *fa) assign(n *ast.AssignStmt, s *state) {
+	if op := compoundOp(n.Tok); op != token.ILLEGAL {
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			lv := a.eval(n.Lhs[0], s)
+			rv := a.eval(n.Rhs[0], s)
+			a.setLHS(n.Lhs[0], a.binop(op, lv, rv), s)
+		}
+		return
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		vals := a.evalMulti(len(n.Lhs), n.Rhs[0], s)
+		for i, lhs := range n.Lhs {
+			a.setLHS(lhs, vals[i], s)
+		}
+		return
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		vals := make([]absval, len(n.Rhs))
+		for i := range n.Rhs {
+			vals[i] = a.eval(n.Rhs[i], s)
+		}
+		for i, lhs := range n.Lhs {
+			a.setLHS(lhs, vals[i], s)
+		}
+	}
+}
+
+// evalMulti evaluates a single multi-valued RHS into want values.
+func (a *fa) evalMulti(want int, rhs ast.Expr, s *state) []absval {
+	vals := make([]absval, want)
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if lv, ok := a.lockOp(e, s); ok {
+			copy(vals, lv)
+			return vals
+		}
+		v := a.eval(e, s)
+		for i := range vals {
+			vals[i] = v
+		}
+		if want == 2 {
+			vals[1] = absval{} // trailing ok/err bool is clean
+		}
+	case *ast.TypeAssertExpr:
+		vals[0] = a.eval(e.X, s)
+	case *ast.IndexExpr:
+		vals[0] = a.eval(e, s) // comma-ok map read
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			a.eval(e.X, s)
+		}
+	default:
+		vals[0] = a.eval(rhs, s)
+	}
+	return vals
+}
+
+func (a *fa) setLHS(lhs ast.Expr, v absval, s *state) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name != "_" {
+			s.set(lhs.Name, v)
+		}
+	case *ast.SelectorExpr:
+		base := a.eval(lhs.X, s)
+		xt := a.typeOf(lhs.X)
+		if xt != nil && a.e.isRacyType(xt) && !stableField(a.typeOf(lhs)) {
+			if isPtr(xt) {
+				a.derefGate(lhs.Pos(), base, lhs.Sel.Name)
+			}
+		}
+		if p := pathOf(lhs); p != "" {
+			s.set(p, v)
+		}
+	case *ast.StarExpr:
+		base := a.eval(lhs.X, s)
+		a.derefGate(lhs.Pos(), base, "*"+exprString(lhs.X))
+	case *ast.IndexExpr:
+		xv := a.eval(lhs.X, s)
+		iv := a.eval(lhs.Index, s)
+		if xt := a.typeOf(lhs.X); xt != nil {
+			if _, isMap := xt.Underlying().(*types.Map); !isMap {
+				a.sinkCheck(lhs.Index.Pos(), iv, "index")
+			}
+		}
+		_ = xv
+	}
+}
+
+func (a *fa) rangeHead(n *ast.RangeStmt, s *state) {
+	xv := a.eval(n.X, s)
+	xt := a.typeOf(n.X)
+	var elemT types.Type
+	overInt := false
+	if xt != nil {
+		switch u := xt.Underlying().(type) {
+		case *types.Basic:
+			if u.Info()&types.IsInteger != 0 {
+				overInt = true
+			}
+		case *types.Slice:
+			elemT = u.Elem()
+		case *types.Array:
+			elemT = u.Elem()
+		case *types.Pointer:
+			if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+				elemT = arr.Elem()
+			}
+		case *types.Map:
+			elemT = u.Elem()
+		case *types.Chan:
+			elemT = u.Elem()
+		}
+	}
+	if overInt {
+		a.sinkCheck(n.X.Pos(), xv, "range bound")
+	}
+	if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+		kv := absval{}
+		if overInt && xv.t >= tClamped {
+			kv.t = tClamped // bounded by the (already checked) operand
+		}
+		s.set(id.Name, kv)
+	}
+	if n.Value != nil {
+		if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+			s.set(id.Name, a.elemLoad(xv, elemT))
+		}
+	}
+}
+
+// loopBound checks a for-loop condition: the loop is acceptable when
+// at least one &&-conjunct comparison is bounded entirely by clean or
+// clamped operands (the `i < n.prefixLen && i < maxPrefix` idiom).
+func (a *fa) loopBound(cond ast.Expr, s *state) {
+	var comps []*ast.BinaryExpr
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if b, ok := e.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LAND:
+				collect(b.X)
+				collect(b.Y)
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+				comps = append(comps, b)
+			}
+		}
+	}
+	collect(cond)
+	if len(comps) == 0 {
+		return
+	}
+	a.pure++
+	anyTainted := false
+	cleanBound := false
+	var firstTaint token.Pos
+	var tmAll, vmAll mask
+	for _, c := range comps {
+		xv := a.eval(c.X, s)
+		yv := a.eval(c.Y, s)
+		tainted := xv.t == tTainted || yv.t == tTainted
+		masked := xv.tm|yv.tm|xv.vm|yv.vm != 0
+		if tainted {
+			anyTainted = true
+			if firstTaint == token.NoPos {
+				firstTaint = c.Pos()
+			}
+		}
+		tmAll |= xv.tm | yv.tm
+		vmAll |= xv.vm | yv.vm
+		if !tainted && !masked {
+			cleanBound = true
+		}
+	}
+	a.pure--
+	if cleanBound {
+		return
+	}
+	if anyTainted {
+		a.flag(firstTaint, "loop bound derives from an optimistic read: clamp it or validate before looping")
+	}
+	a.record(0, tmAll, vmAll)
+}
+
+// sinkCheck handles a value arriving at an index/size/bound sink.
+func (a *fa) sinkCheck(pos token.Pos, v absval, what string) {
+	if v.t == tTainted {
+		a.flag(pos, "optimistically-read value used as %s without clamp or validation", what)
+	}
+	a.record(0, v.tm, v.vm)
+}
+
+// derefGate handles reading or writing through a pointer into racy
+// node memory.
+func (a *fa) derefGate(pos token.Pos, base absval, what string) {
+	if base.r == rRacy {
+		a.flag(pos, "racy pointer dereference: %s is reached through a pointer loaded from node memory without a nil check, acquire, or validation", what)
+	}
+	a.record(base.rmd, 0, 0)
+}
+
+// elemLoad is the abstract value of one element read from a container.
+func (a *fa) elemLoad(c absval, elemT types.Type) absval {
+	v := absval{tm: c.rm, vm: c.vm}
+	if c.r >= rShared {
+		v.t = tTainted
+	}
+	if elemT != nil && a.e.isRacyType(elemT) {
+		v.t, v.tm = tClean, 0
+		if isPtr(elemT) {
+			v.r, v.rm, v.rmd = rTrusted, c.rm, c.rm
+			if c.r >= rShared {
+				v.r = rRacy
+			}
+		} else {
+			v.r, v.rm = c.r, c.rm
+		}
+	}
+	return a.typeCap(v, elemT)
+}
+
+// typeCap applies intrinsic type bounds: an unsigned 8-bit value can
+// index any 256-entry table but never exceed it, so torn uint8 loads
+// cap at Clamped (documented: short slices indexed by raw bytes are a
+// known gap, the tree's byte-indexed tables are all 256-wide).
+func (a *fa) typeCap(v absval, t types.Type) absval {
+	if t == nil {
+		return v
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint8, types.Bool:
+			if v.t > tClamped {
+				v.t = tClamped
+			}
+			v.tm, v.vm = 0, 0
+		}
+	}
+	return v
+}
+
+func isPtr(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func exprString(e ast.Expr) string {
+	if p := pathOf(e); p != "" {
+		return p
+	}
+	return "pointer"
+}
+
+// pathOf returns the store key of an lvalue-ish expression: a plain
+// ident, or a one-level selector off an ident.
+func pathOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return ""
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && id.Name != "_" {
+			return id.Name + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// eval computes the abstract value of e, applying side effects.
+func (a *fa) eval(e ast.Expr, s *state) absval {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return a.eval(e.X, s)
+	case *ast.Ident:
+		if e.Name == "nil" || e.Name == "true" || e.Name == "false" || e.Name == "iota" {
+			return absval{}
+		}
+		if v, ok := s.get(e.Name); ok {
+			return v
+		}
+		return absval{} // package-level vars, consts: clean
+	case *ast.BasicLit:
+		return absval{}
+	case *ast.SelectorExpr:
+		return a.evalSelector(e, s)
+	case *ast.StarExpr:
+		return a.evalStar(e, s)
+	case *ast.IndexExpr:
+		return a.evalIndex(e, s)
+	case *ast.IndexListExpr:
+		return a.eval(e.X, s)
+	case *ast.SliceExpr:
+		xv := a.eval(e.X, s)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				a.sinkCheck(b.Pos(), a.eval(b, s), "slice bound")
+			}
+		}
+		return xv
+	case *ast.CallExpr:
+		return a.evalCall(e, s)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			a.eval(e.X, s)
+			return absval{r: rTrusted}
+		case token.ARROW:
+			a.eval(e.X, s)
+			return absval{}
+		default:
+			return a.eval(e.X, s)
+		}
+	case *ast.BinaryExpr:
+		xv := a.eval(e.X, s)
+		yv := a.eval(e.Y, s)
+		return a.binop(e.Op, xv, yv)
+	case *ast.CompositeLit:
+		out := absval{}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			out = joinVal(out, a.eval(elt, s))
+		}
+		t := a.typeOf(e)
+		if t == nil || !a.e.isRacyType(t) {
+			out.r, out.rm, out.rmd = rTrusted, 0, 0
+		}
+		out.kind, out.tok = vPlain, ""
+		return a.typeCap(out, t)
+	case *ast.TypeAssertExpr:
+		return a.eval(e.X, s)
+	case *ast.FuncLit:
+		return absval{}
+	}
+	return absval{}
+}
+
+func (a *fa) binop(op token.Token, x, y absval) absval {
+	cleanish := func(v absval) bool { return v.t <= tClamped && v.tm == 0 && v.vm == 0 }
+	join := func() absval {
+		return absval{t: joinTaint(x.t, y.t), tm: x.tm | y.tm, vm: x.vm | y.vm}
+	}
+	switch op {
+	case token.LAND, token.LOR, token.EQL, token.NEQ,
+		token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return absval{} // boolean results carry no taint
+	case token.AND, token.AND_NOT:
+		// Masking by a clean/clamped operand bounds the result.
+		if cleanish(x) || cleanish(y) {
+			t := joinTaint(x.t, y.t)
+			if t > tClamped {
+				t = tClamped
+			}
+			return absval{t: t}
+		}
+		return join()
+	case token.REM:
+		// x % m is bounded by a clean modulus.
+		if cleanish(y) {
+			t := joinTaint(x.t, y.t)
+			if t > tClamped {
+				t = tClamped
+			}
+			return absval{t: t}
+		}
+		return join()
+	case token.SHR:
+		return x // right shift never grows the magnitude
+	}
+	return join()
+}
+
+func (a *fa) evalSelector(e *ast.SelectorExpr, s *state) absval {
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+		if _, isPkg := a.e.pass.Info.Uses[id].(*types.PkgName); isPkg {
+			return absval{} // qualified identifier
+		}
+	}
+	if p := pathOf(e); p != "" {
+		if v, ok := s.get(p); ok {
+			return v
+		}
+	}
+	if sel, ok := a.e.pass.Info.Selections[e]; ok && sel.Kind() != types.FieldVal {
+		return absval{} // method value: base deref happens inside the callee
+	}
+	base := a.eval(e.X, s)
+	return a.fieldLoad(e, base, s)
+}
+
+func (a *fa) fieldLoad(e *ast.SelectorExpr, base absval, s *state) absval {
+	xt := a.typeOf(e.X)
+	ft := a.typeOf(e)
+	if xt == nil || !a.e.isRacyType(xt) {
+		// Field of a trusted (non-node) container: pointers into the
+		// tree start trusted (the acquire transition downgrades them);
+		// plain values inherit the container's provenance.
+		v := absval{t: base.t, tm: base.tm, vm: base.vm}
+		return a.typeCap(v, ft)
+	}
+	if stableField(ft) {
+		// Lock words, atomics, interfaces: readable through any pointer
+		// (type-stable node memory, see DESIGN §9/§15).
+		return absval{}
+	}
+	if isPtr(xt) {
+		a.derefGate(e.Pos(), base, exprString(e.X)+"."+e.Sel.Name)
+	}
+	v := absval{tm: base.rm, vm: base.vm}
+	if base.r >= rShared {
+		v.t = tTainted
+	}
+	if ft != nil {
+		switch ft.Underlying().(type) {
+		case *types.Pointer:
+			v.t, v.tm = tClean, 0
+			v.r, v.rm, v.rmd = rTrusted, base.rm, base.rm
+			if base.r >= rShared {
+				v.r = rRacy
+			}
+		case *types.Slice, *types.Array:
+			// Headers are stable; elements carry the container's risk.
+			v.t, v.tm = tClean, 0
+			v.r, v.rm = rTrusted, base.rm
+			if base.r >= rShared {
+				v.r = rShared
+			}
+		case *types.Struct:
+			v.t, v.tm = tClean, 0
+			v.r, v.rm = base.r, base.rm
+		}
+	}
+	return a.typeCap(v, ft)
+}
+
+func (a *fa) evalStar(e *ast.StarExpr, s *state) absval {
+	base := a.eval(e.X, s)
+	a.derefGate(e.Pos(), base, "*"+exprString(e.X))
+	t := a.typeOf(e)
+	v := absval{tm: base.rm, vm: base.vm}
+	if base.r >= rShared {
+		v.t = tTainted
+	}
+	if t != nil && a.e.isRacyType(t) {
+		v.t, v.tm = tClean, 0
+		v.r, v.rm = base.r, base.rm
+		if v.r == rRacy {
+			v.r = rShared // the deref already happened (and was gated)
+		}
+	}
+	return a.typeCap(v, t)
+}
+
+func (a *fa) evalIndex(e *ast.IndexExpr, s *state) absval {
+	if tv, ok := a.e.pass.Info.Types[e.X]; ok && tv.IsType() {
+		return absval{}
+	}
+	xt := a.typeOf(e.X)
+	if xt != nil {
+		if _, isSig := xt.Underlying().(*types.Signature); isSig {
+			return a.eval(e.X, s) // generic instantiation
+		}
+	}
+	xv := a.eval(e.X, s)
+	iv := a.eval(e.Index, s)
+	isMap := false
+	var elemT types.Type
+	if xt != nil {
+		switch u := xt.Underlying().(type) {
+		case *types.Map:
+			isMap = true
+			elemT = u.Elem()
+		case *types.Slice:
+			elemT = u.Elem()
+		case *types.Array:
+			elemT = u.Elem()
+		case *types.Pointer:
+			if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+				elemT = arr.Elem()
+			}
+		case *types.Basic:
+			elemT = types.Typ[types.Byte] // string indexing
+		}
+	}
+	if !isMap {
+		a.sinkCheck(e.Index.Pos(), iv, "index")
+	}
+	return a.elemLoad(xv, elemT)
+}

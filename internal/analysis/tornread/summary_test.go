@@ -1,0 +1,29 @@
+package tornread
+
+import "testing"
+
+// TestSummaryRoundTrip pins the vetx fact encoding: a summary must
+// survive encode/decode exactly, for every field the call-site logic
+// consumes.
+func TestSummaryRoundTrip(t *testing.T) {
+	cases := []summary{
+		{},
+		{deref: 1, sinkLoad: 2, sinkVal: 4},
+		{deref: 0xdead, sinkLoad: 0xbeef, sinkVal: 0xffff_ffff_ffff_ffff},
+		{ret: absval{t: tTainted, tm: 3, vm: 5, r: rRacy, rm: 9}},
+		{deref: 1, ret: absval{t: tClamped, r: rShared, rm: 1}},
+	}
+	for i, s := range cases {
+		s.analyzed = true
+		got := decodeSummary(s.encode())
+		if got == nil {
+			t.Fatalf("case %d: decode(%q) failed", i, s.encode())
+		}
+		if !got.equal(&s) {
+			t.Errorf("case %d: round-trip mismatch: %q -> %+v", i, s.encode(), got)
+		}
+	}
+	if decodeSummary("garbage") != nil {
+		t.Error("decoding garbage must fail, not fabricate a summary")
+	}
+}

@@ -1,0 +1,12 @@
+package tornread_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/tornread"
+)
+
+func TestTornread(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./tornread", tornread.Analyzer)
+}

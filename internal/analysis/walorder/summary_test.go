@@ -1,0 +1,22 @@
+package walorder
+
+import "testing"
+
+// TestWsummaryRoundTrip pins the vetx fact encoding of the ordering
+// summaries.
+func TestWsummaryRoundTrip(t *testing.T) {
+	for _, s := range []wsummary{
+		{},
+		{appliesUnguarded: true},
+		{mayComplete: true},
+		{appliesUnguarded: true, mayComplete: true},
+	} {
+		got, ok := decodeWsummary(s.encode())
+		if !ok || got != s {
+			t.Errorf("round-trip mismatch: %+v -> %+v (ok=%v)", s, got, ok)
+		}
+	}
+	if _, ok := decodeWsummary("nonsense"); ok {
+		t.Error("decoding nonsense must fail")
+	}
+}

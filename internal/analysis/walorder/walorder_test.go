@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"optiql/internal/analysis/analysistest"
+	"optiql/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.RunPattern(t, "../testdata", "./walorder", walorder.Analyzer)
+}

@@ -303,12 +303,17 @@ func keyByte(k uint64, i int) byte { return byte(k >> (56 - 8*i)) }
 // checkPrefix compares the node's prefix against the key bytes starting
 // at level, returning the number of matching bytes.
 func checkPrefix(n *node, k uint64, level int) int {
-	for i := 0; i < n.prefixLen; i++ {
+	// prefixLen may be read under an optimistic (unvalidated) hold, so it
+	// can be stale or torn; the maxPrefix conjunct keeps the prefix index
+	// in bounds and the walked count bounds the result regardless, and
+	// version validation rejects any comparison against torn state.
+	i := 0
+	for ; i < n.prefixLen && i < maxPrefix; i++ {
 		if level+i >= 8 || keyByte(k, level+i) != n.prefix[i] {
 			return i
 		}
 	}
-	return n.prefixLen
+	return i
 }
 
 // clampedChildren returns numChildren clamped to capacity, defending

@@ -1,0 +1,40 @@
+package art
+
+import "testing"
+
+// TestCheckPrefixTornLength is the regression test for the torn-read
+// hazard tornread flagged in checkPrefix: an optimistic reader can
+// observe a stale or torn prefixLen that exceeds maxPrefix (the node
+// is being replaced concurrently), and the prefix walk must stay
+// inside the array instead of panicking. Version validation rejects
+// the bogus comparison result afterwards; the clamp only has to keep
+// the process alive.
+func TestCheckPrefixTornLength(t *testing.T) {
+	n := &node{kind: kind4, level: 0}
+	n.prefixLen = maxPrefix + 1000 // torn: far past the array
+	for i := range n.prefix {
+		n.prefix[i] = 0xab
+	}
+	var k uint64
+	for i := 0; i < maxPrefix; i++ {
+		k |= uint64(0xab) << (56 - 8*i)
+	}
+	// Must not panic, and must stop at the array bound: every stored
+	// byte matches, so the walk reports maxPrefix matches at most.
+	got := checkPrefix(n, k, 0)
+	if got > maxPrefix {
+		t.Fatalf("checkPrefix walked past the prefix array: got %d, max %d", got, maxPrefix)
+	}
+
+	// A mismatching key still reports the first difference.
+	n.prefixLen = maxPrefix + 7
+	if got := checkPrefix(n, ^k, 0); got != 0 {
+		t.Fatalf("mismatch at byte 0 must stop the walk, got %d", got)
+	}
+
+	// Sane lengths are unaffected by the clamp.
+	n.prefixLen = 3
+	if got := checkPrefix(n, k, 0); got != 3 {
+		t.Fatalf("intact prefix of 3 must match 3 bytes, got %d", got)
+	}
+}

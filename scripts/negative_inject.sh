@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Negative injection for the interprocedural analyzers: plant one
+# torn-read hazard and one WAL-ordering hazard into scratch copies of
+# the module and assert that tornread and walorder each catch their
+# plant end-to-end through `go vet -vettool`. A gate that cannot fail
+# is not a gate; this proves the wired-up binary still detects the
+# exact hazard classes it exists for (mirrors PR 5's verification).
+#
+# Usage: scripts/negative_inject.sh  (from the module root)
+set -euo pipefail
+
+root=$(pwd)
+if [[ ! -f "$root/go.mod" ]] || ! grep -q '^module optiql$' "$root/go.mod"; then
+	echo "negative_inject: run from the optiql module root" >&2
+	exit 1
+fi
+
+echo "== building vettool"
+go build -o bin/optiqlvet ./cmd/optiqlvet
+vettool="$root/bin/optiqlvet"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+copy_module() {
+	local dst=$1
+	mkdir -p "$dst"
+	# The module is self-contained; .git and bin are dead weight.
+	(cd "$root" && tar --exclude=.git --exclude=bin -cf - .) | (cd "$dst" && tar -xf -)
+}
+
+# plant applies an in-place substitution and fails loudly if the
+# anchor text has drifted — a silently missing plant would turn this
+# gate into a no-op.
+plant() {
+	local file=$1 from=$2 to=$3
+	if ! grep -qF "$from" "$file"; then
+		echo "negative_inject: anchor not found in $file:" >&2
+		echo "  $from" >&2
+		echo "update the plant to match the current source" >&2
+		exit 1
+	fi
+	python3 - "$file" "$from" "$to" <<'EOF'
+import sys
+path, frm, to = sys.argv[1], sys.argv[2], sys.argv[3]
+src = open(path).read()
+open(path, "w").write(src.replace(frm, to, 1))
+EOF
+}
+
+expect_catch() {
+	local dir=$1 pkg=$2 analyzer=$3
+	local out
+	if out=$(cd "$dir" && go vet -vettool="$vettool" "$pkg" 2>&1); then
+		echo "negative_inject: $analyzer plant was NOT caught (vet exited 0)" >&2
+		exit 1
+	fi
+	if ! grep -q "\[$analyzer\]" <<<"$out"; then
+		echo "negative_inject: vet failed but not with a $analyzer finding:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+	echo "$out" | grep "\[$analyzer\]" | head -3
+}
+
+echo "== plant 1: unclamped racy loop bound (tornread)"
+copy_module "$scratch/torn"
+# Strip the maxPrefix clamp from checkPrefix: the loop bound becomes a
+# raw optimistic read again, and every optimistic caller must flag.
+plant "$scratch/torn/internal/art/art.go" \
+	'for ; i < n.prefixLen && i < maxPrefix; i++ {' \
+	'for ; i < n.prefixLen; i++ {'
+expect_catch "$scratch/torn" ./internal/art/ tornread
+echo "   caught"
+
+echo "== plant 2: index apply before wal.Append (walorder)"
+copy_module "$scratch/wal"
+# Apply the batch to the index before it is durable in the log: a
+# crash between the two loses acknowledged writes.
+plant "$scratch/wal/internal/server/wal.go" \
+	'	seq, err := e.wal.Append(ops)' \
+	'	e.applyBatch(buf)
+	seq, err := e.wal.Append(ops)'
+expect_catch "$scratch/wal" ./internal/server/ walorder
+echo "   caught"
+
+echo "negative injection: both plants caught"
